@@ -1,0 +1,2 @@
+"""Benchmark harness regenerating every table and figure of the paper's
+evaluation (see DESIGN.md Section 4 for the experiment index)."""

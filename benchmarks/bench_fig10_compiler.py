@@ -1,0 +1,81 @@
+"""Figure 10: end-to-end compiler vs. the Clang/MLIR flows (RQ3).
+
+For every kernel, orientation (Mx20 and 20xN) and size, compiles the
+linalg-level kernel through the three flows of paper Figure 8 and
+measures FPU utilization on the simulated Snitch core.  The paper's
+qualitative result: "ours" climbs towards ~90%+ with size while the
+general-purpose flows plateau well below 50%.
+"""
+
+import numpy as np
+import pytest
+
+from repro import api, kernels
+from benchmarks.conftest import make_report_fixture
+
+report = make_report_fixture(
+    "fig10_compiler.txt",
+    f"{'kernel':<22} {'ours':>6} {'clang':>6} {'mlir':>6}   (FPU util)",
+)
+
+SIZES = (4, 8, 12, 16, 20)
+
+KERNELS = {
+    "sum": kernels.sum_kernel,
+    "fill": kernels.fill,
+    "relu": kernels.relu,
+    "conv3x3": kernels.conv3x3,
+    "max_pool3x3": kernels.max_pool3x3,
+    "sum_pool3x3": kernels.sum_pool3x3,
+}
+
+
+def run_flow(builder, shape, pipeline):
+    module, spec = builder(*shape)
+    compiled = api.compile_linalg(module, pipeline=pipeline)
+    args = spec.random_arguments(seed=0)
+    result = api.run_kernel(compiled, args)
+    expected = spec.reference(*args)
+    for got, want in zip(result.arrays, expected):
+        if want is not None:
+            np.testing.assert_allclose(got, want, atol=1e-9)
+    return result.trace
+
+
+def record(benchmark, report, label, builder, shape):
+    def once():
+        return {
+            pipeline: run_flow(builder, shape, pipeline)
+            for pipeline in ("ours", "clang", "mlir")
+        }
+
+    traces = benchmark.pedantic(once, rounds=1, iterations=1)
+    utils = {
+        name: trace.fpu_utilization for name, trace in traces.items()
+    }
+    benchmark.extra_info.update(
+        {name: round(value, 4) for name, value in utils.items()}
+    )
+    benchmark.extra_info["cycles_ours"] = traces["ours"].cycles
+    report.row(
+        f"{label:<22} {utils['ours']:>6.1%} {utils['clang']:>6.1%} "
+        f"{utils['mlir']:>6.1%}"
+    )
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("name", sorted(KERNELS))
+def bench_mx20(benchmark, report, name, size):
+    """Kernel at Mx20 with M = size."""
+    record(
+        benchmark, report, f"{name} {size}x20", KERNELS[name], (size, 20)
+    )
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("name", sorted(KERNELS))
+def bench_20xn(benchmark, report, name, size):
+    """Kernel at 20xN with N = size."""
+    record(
+        benchmark, report, f"{name} 20x{size}", KERNELS[name], (20, size)
+    )

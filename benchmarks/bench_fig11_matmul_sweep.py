@@ -1,0 +1,62 @@
+"""Figure 11: sustained throughput of the 64-bit MatMul (M = 1).
+
+Sweeps C[1xN] = A[1xK] B[KxN] over N, K in {4, 8, ..., 64} and reports
+the fraction of the 2-FLOPs/cycle FMA roofline, regenerating the paper's
+heatmap: low at small sizes (setup-dominated), above 90% past a size
+frontier.
+"""
+
+import numpy as np
+import pytest
+
+from repro import api, kernels
+from benchmarks.conftest import make_report_fixture
+
+report = make_report_fixture(
+    "fig11_matmul_sweep.txt",
+    "Sustained 64-bit MatMul throughput, % of the 2 FLOP/cycle roofline",
+)
+
+GRID = tuple(range(4, 65, 4))
+
+
+def roofline_fraction(n, k):
+    module, spec = kernels.matmul(1, k, n)
+    compiled = api.compile_linalg(module, pipeline="ours")
+    args = spec.random_arguments(seed=0)
+    result = api.run_kernel(compiled, args)
+    expected = spec.reference(*args)
+    np.testing.assert_allclose(result.arrays[2], expected[2], atol=1e-8)
+    return 100 * result.trace.throughput / 2.0
+
+
+def bench_full_sweep(benchmark, report):
+    """The complete 16x16 (N, K) grid in one benchmark."""
+
+    def sweep():
+        grid = {}
+        for k in GRID:
+            for n in GRID:
+                grid[(n, k)] = roofline_fraction(n, k)
+        return grid
+
+    grid = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    header = "K\\N " + " ".join(f"{n:>5}" for n in GRID)
+    report.row(header)
+    for k in GRID:
+        row = " ".join(f"{grid[(n, k)]:5.1f}" for n in GRID)
+        report.row(f"{k:>3} {row}")
+    over_90 = sum(1 for v in grid.values() if v >= 90.0)
+    benchmark.extra_info.update(
+        points=len(grid),
+        points_over_90_percent=over_90,
+        max_percent=round(max(grid.values()), 1),
+        min_percent=round(min(grid.values()), 1),
+    )
+    report.row("")
+    report.row(
+        f"{over_90}/{len(grid)} points at or above 90% of the roofline"
+    )
+    # Paper claims: >90% past the frontier, growth in both axes.
+    assert grid[(64, 64)] > 90.0
+    assert grid[(4, 4)] < grid[(32, 32)] < grid[(64, 64)]

@@ -1,0 +1,107 @@
+"""Figure 9: handwritten dialect-level kernels (paper Section 4.2, RQ1).
+
+Reproduces the FPU-utilization / throughput / cycle-count series for the
+Sum, ReLU and MatMulT 32-bit kernels written directly in the
+rv/rv_snitch/snitch_stream dialects and compiled with the backend passes
+only.
+"""
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.kernels import lowlevel
+from benchmarks.conftest import make_report_fixture
+
+report = make_report_fixture(
+    "fig9_lowlevel.txt",
+    f"{'kernel':<22} {'cycles':>7} {'util':>6} {'FLOP/cyc':>8} "
+    f"{'roofline%':>9}",
+)
+
+SIZES = (8, 16, 24, 32, 40)
+K_SIZES = (4, 8, 12, 16, 20)
+
+
+def run_lowlevel(builder, sizes):
+    module, spec = builder(*sizes)
+    compiled = api.compile_lowlevel(module, spec.name)
+    args = spec.random_arguments(seed=0)
+    result = api.run_kernel(compiled, args)
+    expected = spec.reference(*args)
+    for got, want in zip(result.arrays, expected):
+        if want is not None:
+            np.testing.assert_allclose(got, want, rtol=1e-4)
+    return spec, result.trace
+
+
+def record(benchmark, report, label, builder, sizes, peak_flops_cycle):
+    def once():
+        return run_lowlevel(builder, sizes)
+
+    spec, trace = benchmark.pedantic(once, rounds=1, iterations=1)
+    roofline = 100 * trace.throughput / peak_flops_cycle
+    benchmark.extra_info.update(
+        cycles=trace.cycles,
+        fpu_utilization=round(trace.fpu_utilization, 4),
+        throughput=round(trace.throughput, 3),
+        roofline_percent=round(roofline, 1),
+    )
+    report.row(
+        f"{label:<22} {trace.cycles:>7} {trace.fpu_utilization:>6.1%} "
+        f"{trace.throughput:>8.2f} {roofline:>9.1f}"
+    )
+
+
+@pytest.mark.parametrize("m", SIZES)
+def bench_sum32_mx40(benchmark, report, m):
+    """Sum Mx40 (f32, packed SIMD: peak 2 FLOPs/cycle)."""
+    record(
+        benchmark, report, f"sum32 {m}x40",
+        lowlevel.lowlevel_sum_f32, (m, 40), 2.0,
+    )
+
+
+@pytest.mark.parametrize("n", SIZES)
+def bench_sum32_40xn(benchmark, report, n):
+    """Sum 40xN."""
+    record(
+        benchmark, report, f"sum32 40x{n}",
+        lowlevel.lowlevel_sum_f32, (40, n), 2.0,
+    )
+
+
+@pytest.mark.parametrize("m", SIZES)
+def bench_relu32_mx40(benchmark, report, m):
+    """ReLU Mx40."""
+    record(
+        benchmark, report, f"relu32 {m}x40",
+        lowlevel.lowlevel_relu_f32, (m, 40), 2.0,
+    )
+
+
+@pytest.mark.parametrize("n", SIZES)
+def bench_relu32_40xn(benchmark, report, n):
+    """ReLU 40xN."""
+    record(
+        benchmark, report, f"relu32 40x{n}",
+        lowlevel.lowlevel_relu_f32, (40, n), 2.0,
+    )
+
+
+@pytest.mark.parametrize("k", K_SIZES)
+def bench_matmul_t32_1xk_40xk(benchmark, report, k):
+    """MatMulT 1xK * (40xK)^T (vfmac: peak 4 FLOPs/cycle)."""
+    record(
+        benchmark, report, f"matmul_t32 1x{k} 40x{k}",
+        lowlevel.lowlevel_matmul_t_f32, (k, 40), 4.0,
+    )
+
+
+@pytest.mark.parametrize("n", SIZES)
+def bench_matmul_t32_1x20_nx20(benchmark, report, n):
+    """MatMulT 1x20 * (Nx20)^T."""
+    record(
+        benchmark, report, f"matmul_t32 1x20 {n}x20",
+        lowlevel.lowlevel_matmul_t_f32, (20, n), 4.0,
+    )

@@ -1,0 +1,53 @@
+"""Network-level benchmark: the paper's motivating workloads.
+
+Not a paper table per se, but the aggregate view its introduction
+motivates: the NSNet2 and AlexNet micro-kernel mixes, compiled with the
+multi-level backend vs. the general-purpose flows, reported as
+end-to-end cycles and cycle-weighted utilization.
+"""
+
+import pytest
+
+from repro.kernels import networks
+from benchmarks.conftest import make_report_fixture
+
+report = make_report_fixture(
+    "networks.txt",
+    f"{'network':<10} {'flow':<7} {'cycles':>9} {'mean util':>10} "
+    f"{'speedup':>8}",
+)
+
+NETWORKS = {
+    "NSNet2": networks.nsnet2_layers,
+    "AlexNet": networks.alexnet_layers,
+}
+
+
+@pytest.mark.parametrize("name", sorted(NETWORKS))
+def bench_network(benchmark, report, name):
+    """All layer kernels of one network through all three flows."""
+
+    def once():
+        layers = NETWORKS[name]()
+        return {
+            flow: networks.run_network(name, layers, pipeline=flow)
+            for flow in ("ours", "clang", "mlir")
+        }
+
+    results = benchmark.pedantic(once, rounds=1, iterations=1)
+    ours = results["ours"]
+    for flow, outcome in results.items():
+        speedup = results["clang"].total_cycles / outcome.total_cycles
+        report.row(
+            f"{name:<10} {flow:<7} {outcome.total_cycles:>9} "
+            f"{outcome.mean_utilization:>10.1%} {speedup:>7.2f}x"
+        )
+    benchmark.extra_info.update(
+        cycles_ours=ours.total_cycles,
+        mean_utilization=round(ours.mean_utilization, 4),
+        speedup_vs_clang=round(
+            results["clang"].total_cycles / ours.total_cycles, 2
+        ),
+    )
+    assert ours.total_cycles < results["mlir"].total_cycles
+    assert ours.mean_utilization > 0.7

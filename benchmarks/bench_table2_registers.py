@@ -1,0 +1,73 @@
+"""Table 2: spill-free register allocation across the kernel suite.
+
+For each kernel (f64 via the compiler, f32 via the handwritten
+dialect-level implementations) compiles at the paper's shapes and counts
+the distinct FP / integer registers in the final IR.  The paper's claim:
+everything fits the 20 FP + 15 integer caller-saved budget, with spares.
+"""
+
+import pytest
+
+from repro import api, kernels
+from repro.kernels import lowlevel
+from benchmarks.conftest import make_report_fixture
+
+report = make_report_fixture(
+    "table2_registers.txt",
+    f"{'kernel':<18} {'bits':>4} {'shape':>12} {'FP':>6} {'int':>6}",
+)
+
+#: (label, precision, builder, shape) rows of paper Table 2.
+F64_ROWS = [
+    ("fill", kernels.fill, (4, 4)),
+    ("relu", kernels.relu, (4, 4)),
+    ("sum", kernels.sum_kernel, (4, 4)),
+    ("max_pool3x3", kernels.max_pool3x3, (4, 4)),
+    ("sum_pool3x3", kernels.sum_pool3x3, (4, 4)),
+    ("conv3x3", kernels.conv3x3, (4, 4)),
+    ("matmul", kernels.matmul, (4, 16, 8)),
+]
+
+F32_ROWS = [
+    ("relu32", lowlevel.lowlevel_relu_f32, (4, 8)),
+    ("sum32", lowlevel.lowlevel_sum_f32, (4, 8)),
+    ("matmul_t32", lowlevel.lowlevel_matmul_t_f32, (16, 16)),
+]
+
+
+def record(benchmark, report, label, bits, compiled, shape):
+    fp, integer = compiled.register_usage()
+    benchmark.extra_info.update(fp_registers=fp, int_registers=integer)
+    shape_text = "x".join(str(s) for s in shape)
+    report.row(
+        f"{label:<18} {bits:>4} {shape_text:>12} {fp:>4}/20 {integer:>4}/15"
+    )
+    assert fp <= 20 and integer <= 15  # the spill-free budget
+
+
+@pytest.mark.parametrize(
+    "label,builder,shape", F64_ROWS, ids=[r[0] for r in F64_ROWS]
+)
+def bench_f64_registers(benchmark, report, label, builder, shape):
+    """64-bit kernels through the full compiler pipeline."""
+
+    def compile_once():
+        module, _ = builder(*shape)
+        return api.compile_linalg(module, pipeline="ours")
+
+    compiled = benchmark.pedantic(compile_once, rounds=1, iterations=1)
+    record(benchmark, report, label, 64, compiled, shape)
+
+
+@pytest.mark.parametrize(
+    "label,builder,shape", F32_ROWS, ids=[r[0] for r in F32_ROWS]
+)
+def bench_f32_registers(benchmark, report, label, builder, shape):
+    """32-bit packed-SIMD kernels (handwritten, backend passes only)."""
+
+    def compile_once():
+        module, spec = builder(*shape)
+        return api.compile_lowlevel(module, spec.name)
+
+    compiled = benchmark.pedantic(compile_once, rounds=1, iterations=1)
+    record(benchmark, report, label, 32, compiled, shape)

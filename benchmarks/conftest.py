@@ -1,0 +1,46 @@
+"""Shared benchmark helpers.
+
+Every benchmark regenerates one table or figure of the paper's
+evaluation (Section 4).  Besides the pytest-benchmark wall-clock timings
+(which measure the *simulator*, not Snitch), each benchmark attaches the
+paper's metrics — cycles, FLOPs/cycle throughput, FPU utilization,
+loads/stores, register counts — via ``benchmark.extra_info`` and appends
+rows to a human-readable report under ``results/``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+
+
+class ReportWriter:
+    """Accumulates table rows and writes them at module teardown."""
+
+    def __init__(self, name: str, header: str):
+        self.name = name
+        self.lines = [header, "-" * len(header)]
+
+    def row(self, text: str) -> None:
+        self.lines.append(text)
+
+    def flush(self) -> None:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        path = os.path.join(RESULTS_DIR, self.name)
+        with open(path, "w") as handle:
+            handle.write("\n".join(self.lines) + "\n")
+
+
+def make_report_fixture(filename: str, header: str):
+    """A module-scoped fixture yielding a ReportWriter."""
+
+    @pytest.fixture(scope="module")
+    def report():
+        writer = ReportWriter(filename, header)
+        yield writer
+        writer.flush()
+
+    return report

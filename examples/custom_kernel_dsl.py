@@ -1,0 +1,95 @@
+"""Bring your own kernel: an AXPY-like operation from scratch.
+
+The compiler accepts any ``linalg.generic``-shaped computation.  This
+example builds z = x * y + z_init element-wise (a fused multiply-add
+map) and a row-sum reduction — neither is part of the built-in kernel
+suite — and compiles both through the full pipeline, demonstrating that
+the backend generalises beyond the paper's Table 1 set.
+
+Run with:  python examples/custom_kernel_dsl.py
+"""
+
+import numpy as np
+
+from repro import api
+from repro.dialects import arith, func, linalg
+from repro.dialects.builtin import ModuleOp
+from repro.ir import AffineMap, Block, MemRefType, Region, f64
+
+
+def build_fma_map(n: int, m: int):
+    """z[i,j] = x[i,j] * y[i,j] + z[i,j] (reads its own output)."""
+    memref = MemRefType(f64, (n, m))
+    fn = func.FuncOp("fma_map", [memref, memref, memref])
+    x, y, z = fn.args
+    identity = AffineMap.identity(2)
+    block = Block([f64, f64, f64])
+    prod = arith.MulfOp(block.args[0], block.args[1])
+    total = arith.AddfOp(block.args[2], prod.result)
+    block.add_ops([prod, total, linalg.YieldOp([total.result])])
+    fn.entry_block.add_op(
+        linalg.GenericOp(
+            inputs=[x, y],
+            outputs=[z],
+            indexing_maps=[identity, identity, identity],
+            iterator_types=["parallel", "parallel"],
+            body=Region([block]),
+        )
+    )
+    fn.entry_block.add_op(func.ReturnOp())
+    return ModuleOp([fn])
+
+
+def build_row_sum(n: int, m: int):
+    """out[i] = sum_j x[i, j]: a fresh reduction kernel."""
+    fn = func.FuncOp(
+        "row_sum", [MemRefType(f64, (n, m)), MemRefType(f64, (n,))]
+    )
+    x, out = fn.args
+    zero = arith.ConstantOp.from_float(0.0, f64)
+    fn.entry_block.add_op(zero)
+    fn.entry_block.add_op(linalg.FillOp(zero.result, out))
+    block = Block([f64, f64])
+    acc = arith.AddfOp(block.args[1], block.args[0])
+    block.add_ops([acc, linalg.YieldOp([acc.result])])
+    fn.entry_block.add_op(
+        linalg.GenericOp(
+            inputs=[x],
+            outputs=[out],
+            indexing_maps=[
+                AffineMap.identity(2),
+                AffineMap.from_callable(2, lambda i, j: (i,)),
+            ],
+            iterator_types=["parallel", "reduction"],
+            body=Region([block]),
+        )
+    )
+    fn.entry_block.add_op(func.ReturnOp())
+    return ModuleOp([fn])
+
+
+def main() -> None:
+    rng = np.random.default_rng(1)
+
+    # --- element-wise fused multiply-add ---------------------------------
+    n, m = 8, 16
+    x = rng.uniform(-1, 1, (n, m))
+    y = rng.uniform(-1, 1, (n, m))
+    z = rng.uniform(-1, 1, (n, m))
+    compiled = api.compile_linalg(build_fma_map(n, m), pipeline="ours")
+    result = api.run_kernel(compiled, [x, y, z.copy()])
+    assert np.allclose(result.arrays[2], x * y + z)
+    print(f"fma_map : {result.trace.summary()}")
+
+    # --- row-wise reduction -----------------------------------------------
+    x = rng.uniform(-1, 1, (8, 40))
+    compiled = api.compile_linalg(build_row_sum(8, 40), pipeline="ours")
+    result = api.run_kernel(compiled, [x, np.zeros(8)])
+    assert np.allclose(result.arrays[1], x.sum(axis=1))
+    print(f"row_sum : {result.trace.summary()}")
+
+    print("both custom kernels verified against numpy")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""Write a kernel directly at the Snitch dialect level (paper Fig. 4/6).
+
+Sometimes the DSL path is not enough and you want full control, like the
+paper's Section 4.2 micro-kernels.  This example hand-builds a fused
+"scaled accumulate" kernel — acc = sum_i (x_i * y_i), the SSR + FREP dot
+product of paper Figure 4 — in the rv/rv_snitch/snitch_stream dialects,
+then lets the backend do stream lowering, register allocation and
+emission.
+
+Run with:  python examples/handwritten_snitch_kernel.py
+"""
+
+import numpy as np
+
+from repro import api
+from repro.dialects import riscv, riscv_func, riscv_snitch
+from repro.dialects.builtin import ModuleOp
+from repro.dialects.riscv import IntRegisterType
+from repro.dialects.snitch_stream import StreamingRegionOp, StridePattern
+from repro.ir import Builder
+from repro.snitch.memory import TCDM
+from repro.snitch.machine import SnitchMachine, bits_to_f64
+from repro.snitch.assembler import assemble
+
+
+def build_dot(n: int) -> ModuleOp:
+    """dot(x_ptr in a0, y_ptr in a1) -> result left in fa0."""
+    fn = riscv_func.FuncOp("dot", riscv_func.abi_arg_types(["int", "int"]))
+    builder = Builder.at_end(fn.entry_block)
+    x_ptr = builder.insert(riscv.MVOp(fn.args[0])).rd
+    y_ptr = builder.insert(riscv.MVOp(fn.args[1])).rd
+
+    pattern = StridePattern([n], [8])
+    region = StreamingRegionOp([x_ptr, y_ptr], [], [pattern, pattern])
+    builder.insert(region)
+
+    inner = Builder.at_end(region.body_block)
+    zero = inner.insert(
+        riscv.GetRegisterOp(IntRegisterType("zero"))
+    ).result
+    acc0 = inner.insert(riscv.FCvtDWOp(zero)).results[0]
+    count = inner.insert(riscv.LiOp(n - 1)).rd
+    frep = riscv_snitch.FrepOuter(count, [acc0])
+    inner.insert(frep)
+    body = Builder.at_end(frep.body_block)
+    x = body.insert(
+        riscv_snitch.ReadOp(region.body_block.args[0])
+    ).result
+    y = body.insert(
+        riscv_snitch.ReadOp(region.body_block.args[1])
+    ).result
+    fma = body.insert(riscv.FMAddDOp(x, y, frep.body_iter_args[0]))
+    body.insert(riscv_snitch.FrepYieldOp([fma.rd]))
+
+    # Leave the accumulated result in the ABI return register fa0.
+    builder.insert(
+        riscv.FMVOp(
+            frep.results[0],
+            result_type=riscv.FloatRegisterType("fa0"),
+        )
+    )
+    builder.insert(riscv_func.ReturnOp())
+    return ModuleOp([fn])
+
+
+def main() -> None:
+    n = 256
+    module = build_dot(n)
+    compiled = api.compile_lowlevel(module, "dot")
+    print(compiled.asm)
+
+    rng = np.random.default_rng(7)
+    x = rng.uniform(-1, 1, n)
+    y = rng.uniform(-1, 1, n)
+    memory = TCDM()
+    x_base = memory.allocate(x.nbytes)
+    y_base = memory.allocate(y.nbytes)
+    memory.write_array(x_base, x)
+    memory.write_array(y_base, y)
+    machine = SnitchMachine(assemble(compiled.asm), memory)
+    trace = machine.run("dot", int_args={"a0": x_base, "a1": y_base})
+    got = bits_to_f64(machine.read_float_bits("fa0"))
+
+    assert np.isclose(got, x @ y), (got, x @ y)
+    print(f"dot({n}) = {got:.6f}  (numpy: {x @ y:.6f})")
+    print(trace.summary())
+    print(
+        "note the single-accumulator FMA chain: utilization is pinned "
+        "near 25%\nby the 4-cycle FPU latency — exactly the RAW hazard "
+        "unroll-and-jam removes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Progressive lowering of the paper's running example (Figures 2, 6, 7).
+
+Compiles the vector-matrix product z[5] = Y[5x200] @ x[200] with IR
+snapshots enabled, then prints the IR after each pipeline stage —
+showing how linalg.generic turns into memref_stream.generic, gets
+scheduled (fill fusion, scalar replacement, unroll-and-jam), becomes a
+snitch_stream.streaming_region with an FREP loop, and finally flat
+register-allocated assembly.
+
+Run with:  python examples/matvec_progressive_lowering.py
+"""
+
+import numpy as np
+
+from repro import api, kernels
+
+#: Stages worth showing (the rest are plumbing).
+INTERESTING = (
+    "input",
+    "convert-linalg-to-memref-stream",
+    "fuse-fill",
+    "scalar-replacement",
+    "unroll-and-jam",
+    "lower-to-snitch",
+    "allocate-registers",
+    "lower-riscv-scf",
+)
+
+
+def main() -> None:
+    module, spec = kernels.matvec(5, 200)
+    compiled = api.compile_linalg(
+        module, pipeline="ours", snapshots=True
+    )
+    for name, text in compiled.snapshots:
+        if name not in INTERESTING:
+            continue
+        print("=" * 72)
+        print(f"after: {name}")
+        print("=" * 72)
+        print(text)
+    print("=" * 72)
+    print("final assembly")
+    print("=" * 72)
+    print(compiled.asm)
+
+    arguments = spec.random_arguments(seed=0)
+    result = api.run_kernel(compiled, arguments)
+    expected = spec.reference(*arguments)[2]
+    assert np.allclose(result.arrays[2], expected)
+    print(f"# verified against numpy; {result.trace.summary()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Scale a kernel across the cores of a Snitch cluster.
+
+The paper's Figure 11 discussion notes that setup overheads must be
+weighed "when distributing larger workloads between Snitch cores".
+This example splits an elementwise Sum over 1..8 cores of a shared-TCDM
+cluster and prints the scaling curve: speedup grows with core count but
+bends away from ideal as the fixed per-core stream-setup overhead stops
+amortising.
+
+Run with:  python examples/multicore_scaling.py
+"""
+
+import numpy as np
+
+from repro import api, kernels
+from repro.snitch.cluster import run_row_partitioned
+
+
+def compile_ours(module, spec):
+    return api.compile_linalg(module, pipeline="ours")
+
+
+def main() -> None:
+    rows, cols = 48, 40
+    rng = np.random.default_rng(0)
+    x = rng.uniform(-1, 1, (rows, cols))
+    y = rng.uniform(-1, 1, (rows, cols))
+
+    print(f"Sum {rows}x{cols} on a shared-TCDM Snitch cluster")
+    print(f"{'cores':>5} {'cycles':>8} {'speedup':>8} {'per-core util':>14}")
+    baseline = None
+    for cores in (1, 2, 4, 8):
+        cluster = run_row_partitioned(
+            kernels.sum_kernel,
+            compile_ours,
+            (rows, cols),
+            cores,
+            [x, y, np.zeros((rows, cols))],
+            row_parallel_args=[0, 1, 2],
+        )
+        assert np.allclose(cluster.arrays[2], x + y)
+        if baseline is None:
+            baseline = cluster.cycles
+        print(
+            f"{cores:>5} {cluster.cycles:>8} "
+            f"{baseline / cluster.cycles:>7.2f}x "
+            f"{cluster.cluster_utilization:>13.1%}"
+        )
+    print(
+        "\nspeedup bends away from ideal: each core pays the same "
+        "constant\nstream-setup overhead on an ever smaller row slice."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""repro: a multi-level compiler backend for accelerated micro-kernels
+targeting RISC-V ISA extensions (CGO 2025 reproduction).
+
+Public entry points:
+
+* :mod:`repro.kernels` — the Table 1 micro-kernel suite (linalg level
+  and handwritten dialect level);
+* :mod:`repro.api` — ``compile_linalg`` / ``compile_lowlevel`` /
+  ``run_kernel``;
+* :mod:`repro.transforms.pipelines` — the named compilation flows
+  ("ours", the Table 3 ablation stages, the "clang"/"mlir" baselines);
+* :mod:`repro.snitch` — the Snitch core simulation substrate;
+* :mod:`repro.ir`, :mod:`repro.dialects`, :mod:`repro.backend` — the IR
+  framework, dialect definitions and backend components.
+"""
+
+__version__ = "1.0.0"
+
+from . import api, ir, kernels  # noqa: F401
+
+__all__ = ["api", "ir", "kernels", "__version__"]

@@ -1,0 +1,181 @@
+"""End-to-end public API: compile a kernel, run it, measure it.
+
+Typical use (see ``examples/quickstart.py``)::
+
+    from repro import api, kernels
+
+    module, spec = kernels.matmul(1, 200, 5)
+    compiled = api.compile_linalg(module, pipeline="ours")
+    result = api.run_kernel(compiled, spec.random_arguments())
+    print(result.trace.summary())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .backend.asm_emitter import emit_module
+from .backend.register_allocator import count_used_registers
+from .dialects import riscv_func
+from .dialects.builtin import ModuleOp
+from .ir.verifier import verify
+from .snitch.assembler import Program, assemble
+from .snitch.machine import SnitchMachine
+from .snitch.memory import TCDM
+from .snitch.trace import ExecutionTrace
+from .transforms.pipelines import build_pipeline
+
+
+@dataclass
+class CompiledKernel:
+    """A kernel compiled down to Snitch assembly."""
+
+    #: The lowered module (rv-level IR, registers allocated).
+    module: ModuleOp
+    #: The emitted assembly text.
+    asm: str
+    #: Entry symbol.
+    entry: str
+    #: (pass name, IR text) snapshots if requested at compile time.
+    snapshots: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def program(self) -> Program:
+        """The assembled program (parsed once per access)."""
+        return assemble(self.asm)
+
+    def register_usage(self) -> tuple[int, int]:
+        """(FP, integer) registers used — the paper's Table 2 metric."""
+        for op in self.module.walk():
+            if isinstance(op, riscv_func.FuncOp):
+                return count_used_registers(op)
+        raise ValueError("no function in compiled module")
+
+
+@dataclass
+class KernelRun:
+    """Outcome of simulating a compiled kernel."""
+
+    trace: ExecutionTrace
+    #: Final contents of each array argument, in argument order
+    #: (``None`` for scalar arguments).
+    arrays: list[np.ndarray | None]
+
+
+def compile_linalg(
+    module: ModuleOp,
+    pipeline: str = "ours",
+    unroll_factor: int | None = None,
+    snapshots: bool = False,
+) -> CompiledKernel:
+    """Run a named pipeline over a linalg-level module and emit assembly."""
+    manager = build_pipeline(
+        pipeline, unroll_factor=unroll_factor, snapshot=snapshots
+    )
+    verify(module)
+    manager.run(module)
+    entry = None
+    for op in module.walk():
+        if isinstance(op, riscv_func.FuncOp):
+            entry = op.sym_name
+            break
+    if entry is None:
+        raise ValueError("pipeline produced no rv_func.func")
+    asm = emit_module(module)
+    return CompiledKernel(
+        module=module,
+        asm=asm,
+        entry=entry,
+        snapshots=list(manager.snapshots),
+    )
+
+
+def compile_lowlevel(module: ModuleOp, entry: str) -> CompiledKernel:
+    """Compile a handwritten dialect-level kernel (paper Section 4.2).
+
+    The module already contains ``rv_func``/``snitch_stream``/
+    ``rv_snitch`` IR, possibly partially register-allocated; only the
+    backend stages run: stream lowering, register allocation, loop
+    flattening, emission.
+    """
+    from .transforms.allocate_registers_pass import AllocateRegistersPass
+    from .transforms.dce import DeadCodeEliminationPass
+    from .transforms.lower_riscv_scf import LowerRiscvScfPass
+    from .transforms.lower_snitch_stream import LowerSnitchStreamPass
+    from .ir.pass_manager import PassManager
+
+    from .transforms.canonicalize import (
+        CanonicalizePass,
+        EliminateIdentityMovesPass,
+    )
+
+    manager = PassManager(
+        [
+            LowerSnitchStreamPass(),
+            CanonicalizePass(),
+            DeadCodeEliminationPass(),
+            AllocateRegistersPass(),
+            LowerRiscvScfPass(),
+            EliminateIdentityMovesPass(),
+        ]
+    )
+    manager.run(module)
+    return CompiledKernel(module=module, asm=emit_module(module), entry=entry)
+
+
+def run_kernel(
+    compiled: CompiledKernel,
+    arguments: list[np.ndarray | float],
+    max_instructions: int = 50_000_000,
+) -> KernelRun:
+    """Simulate a compiled kernel on fresh TCDM contents.
+
+    ``arguments`` parallel the kernel's parameters: numpy arrays are
+    copied into TCDM buffers and passed as pointers in ``a0, a1, ...``;
+    Python floats are passed in ``fa0, fa1, ...``.  Arrays are copied
+    back after execution (``KernelRun.arrays``).
+    """
+    memory = TCDM()
+    int_args: dict[str, int] = {}
+    float_args: dict[str, float] = {}
+    placements: list[tuple[int, np.ndarray] | None] = []
+    next_int = 0
+    next_float = 0
+    for argument in arguments:
+        if isinstance(argument, np.ndarray):
+            base = memory.allocate(argument.nbytes)
+            memory.write_array(base, argument)
+            int_args[f"a{next_int}"] = base
+            next_int += 1
+            placements.append((base, argument))
+        else:
+            float_args[f"fa{next_float}"] = float(argument)
+            next_float += 1
+            placements.append(None)
+    machine = SnitchMachine(
+        compiled.program, memory, max_instructions=max_instructions
+    )
+    trace = machine.run(
+        compiled.entry, int_args=int_args, float_args=float_args
+    )
+    arrays: list[np.ndarray | None] = []
+    for placement in placements:
+        if placement is None:
+            arrays.append(None)
+            continue
+        base, original = placement
+        arrays.append(
+            memory.read_array(base, original.shape, original.dtype)
+        )
+    return KernelRun(trace=trace, arrays=arrays)
+
+
+__all__ = [
+    "CompiledKernel",
+    "KernelRun",
+    "compile_linalg",
+    "compile_lowlevel",
+    "run_kernel",
+]

@@ -1,0 +1,2 @@
+"""Backend components: register file model, the multi-level spill-free
+register allocator (paper Section 3.3) and assembly emission."""

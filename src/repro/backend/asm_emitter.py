@@ -1,0 +1,80 @@
+"""Assembly emission.
+
+"Assembly is printed using an interface-based design, where the IR is
+walked in-order, and printed according to implementation of each
+operation" (paper Section 3.1).  Emission requires a fully lowered,
+fully register-allocated function: structured ``rv_scf`` loops must
+already be rewritten to ``rv_cf`` labels/branches and
+``snitch_stream.streaming_region`` to ``scfgwi``/``csrsi`` sequences.
+``frep_outer`` *is* emittable directly — it corresponds to the ``frep.o``
+instruction followed by its body.
+"""
+
+from __future__ import annotations
+
+from ..dialects import riscv_func, riscv_snitch
+from ..dialects.riscv import RISCVInstruction, reg_name
+from ..ir.core import Block, IRError, Operation
+
+
+class AsmEmissionError(IRError):
+    """Raised when not-yet-lowered ops reach the emitter."""
+
+
+def emit_module(module: Operation) -> str:
+    """Emit assembly for every ``rv_func.func`` in ``module``."""
+    chunks = [
+        emit_function(op)
+        for op in module.walk()
+        if isinstance(op, riscv_func.FuncOp)
+    ]
+    return "\n".join(chunks)
+
+
+def emit_function(func: riscv_func.FuncOp) -> str:
+    """Emit one function: a global label followed by its instructions."""
+    lines = [f".globl {func.sym_name}", f"{func.sym_name}:"]
+    _emit_block(func.entry_block, lines)
+    return "\n".join(lines) + "\n"
+
+
+def _emit_block(block: Block, lines: list[str]) -> None:
+    for op in block.ops:
+        _emit_op(op, lines)
+
+
+def _emit_op(op: Operation, lines: list[str]) -> None:
+    if isinstance(op, riscv_snitch.FrepOuter):
+        _emit_frep(op, lines)
+        return
+    if isinstance(
+        op,
+        (
+            riscv_snitch.ReadOp,
+            riscv_snitch.WriteOp,
+            riscv_snitch.FrepYieldOp,
+        ),
+    ):
+        return  # stream/loop plumbing with no assembly form
+    if isinstance(op, RISCVInstruction):
+        line = op.assembly_line()
+        if line is not None:
+            indent = "" if line.endswith(":") else "    "
+            lines.append(indent + line)
+        return
+    raise AsmEmissionError(
+        f"op {op.name} cannot be emitted; lower it before emission"
+    )
+
+
+def _emit_frep(op: riscv_snitch.FrepOuter, lines: list[str]) -> None:
+    body_count = op.body_instruction_count()
+    if body_count == 0:
+        raise AsmEmissionError("frep.o with an empty body")
+    lines.append(
+        f"    frep.o {reg_name(op.max_rep)}, {body_count}, 0, 0"
+    )
+    _emit_block(op.body.block, lines)
+
+
+__all__ = ["AsmEmissionError", "emit_module", "emit_function"]

@@ -1,0 +1,11 @@
+"""Dialect definitions.
+
+One module per dialect, split in two families exactly as in paper Figure 5:
+
+* existing MLIR abstractions we re-implement: ``builtin``, ``arith``,
+  ``func``, ``scf``, ``memref``, ``linalg``, ``stream``;
+* the paper's contributions: ``memref_stream`` (scheduling bridge),
+  ``riscv`` / ``riscv_cf`` / ``riscv_func`` / ``riscv_scf`` (RISC-V ISA as
+  multi-level SSA IR) and ``riscv_snitch`` / ``snitch_stream`` (Snitch ISA
+  extensions: FREP and stream semantic registers).
+"""

@@ -1,0 +1,171 @@
+"""The ``arith`` dialect: target-independent scalar arithmetic.
+
+These are the ops that appear inside ``linalg.generic`` bodies (paper
+Figure 2) and that the backend later rewrites into ``rv`` floating-point
+instructions.
+"""
+
+from __future__ import annotations
+
+from ..ir.attributes import (
+    Attribute,
+    FloatAttr,
+    FloatType,
+    IndexType,
+    IntAttr,
+    IntegerType,
+    TypeAttribute,
+    index,
+)
+from ..ir.core import IRError, Operation, SSAValue
+from ..ir.traits import ConstantLike, Pure, SameOperandsAndResultType
+
+
+class ConstantOp(Operation):
+    """Materializes a compile-time integer, index or float constant."""
+
+    name = "arith.constant"
+    traits = frozenset([Pure, ConstantLike])
+
+    def __init__(self, value: Attribute, result_type: TypeAttribute):
+        super().__init__(
+            result_types=[result_type], attributes={"value": value}
+        )
+
+    @staticmethod
+    def from_int(value: int, result_type: TypeAttribute = index):
+        """An integer/index constant."""
+        return ConstantOp(IntAttr(value), result_type)
+
+    @staticmethod
+    def from_float(value: float, result_type: FloatType):
+        """A floating-point constant."""
+        return ConstantOp(FloatAttr(value, result_type), result_type)
+
+    @property
+    def value(self) -> Attribute:
+        """The constant attribute."""
+        return self.attributes["value"]
+
+    @property
+    def result(self) -> SSAValue:
+        """The materialized value."""
+        return self.results[0]
+
+    def verify_(self) -> None:
+        value = self.value
+        result_type = self.results[0].type
+        if isinstance(value, FloatAttr) and not isinstance(
+            result_type, FloatType
+        ):
+            raise IRError("float constant must have a float result type")
+        if isinstance(value, IntAttr) and not isinstance(
+            result_type, (IntegerType, IndexType)
+        ):
+            raise IRError("int constant must have an int/index result type")
+
+
+class _BinaryOp(Operation):
+    """Shared shape of all elementwise binary arithmetic ops."""
+
+    traits = frozenset([Pure, SameOperandsAndResultType])
+
+    def __init__(self, lhs: SSAValue, rhs: SSAValue):
+        super().__init__(operands=[lhs, rhs], result_types=[lhs.type])
+
+    @property
+    def lhs(self) -> SSAValue:
+        """Left operand."""
+        return self.operands[0]
+
+    @property
+    def rhs(self) -> SSAValue:
+        """Right operand."""
+        return self.operands[1]
+
+    @property
+    def result(self) -> SSAValue:
+        """The operation result."""
+        return self.results[0]
+
+    def verify_(self) -> None:
+        if self.operands[0].type != self.operands[1].type:
+            raise IRError(f"{self.name}: operand types differ")
+        if self.results[0].type != self.operands[0].type:
+            raise IRError(f"{self.name}: result type differs from operands")
+
+
+class AddfOp(_BinaryOp):
+    """Floating-point addition."""
+
+    name = "arith.addf"
+
+
+class SubfOp(_BinaryOp):
+    """Floating-point subtraction."""
+
+    name = "arith.subf"
+
+
+class MulfOp(_BinaryOp):
+    """Floating-point multiplication."""
+
+    name = "arith.mulf"
+
+
+class DivfOp(_BinaryOp):
+    """Floating-point division."""
+
+    name = "arith.divf"
+
+
+class MaximumfOp(_BinaryOp):
+    """Floating-point maximum (used by ReLU and max-pooling)."""
+
+    name = "arith.maximumf"
+
+
+class MinimumfOp(_BinaryOp):
+    """Floating-point minimum."""
+
+    name = "arith.minimumf"
+
+
+class AddiOp(_BinaryOp):
+    """Integer/index addition."""
+
+    name = "arith.addi"
+
+
+class SubiOp(_BinaryOp):
+    """Integer/index subtraction."""
+
+    name = "arith.subi"
+
+
+class MuliOp(_BinaryOp):
+    """Integer/index multiplication."""
+
+    name = "arith.muli"
+
+
+#: Binary float ops a streamed kernel body may contain, by op name.
+FLOAT_BINARY_OPS = {
+    op.name: op
+    for op in (AddfOp, SubfOp, MulfOp, DivfOp, MaximumfOp, MinimumfOp)
+}
+
+
+__all__ = [
+    "ConstantOp",
+    "AddfOp",
+    "SubfOp",
+    "MulfOp",
+    "DivfOp",
+    "MaximumfOp",
+    "MinimumfOp",
+    "AddiOp",
+    "SubiOp",
+    "MuliOp",
+    "FLOAT_BINARY_OPS",
+]

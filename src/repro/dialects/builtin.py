@@ -1,0 +1,59 @@
+"""The ``builtin`` dialect: the module container op."""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from ..ir.core import Block, Operation, Region
+from ..ir.traits import IsolatedFromAbove
+
+
+class ModuleOp(Operation):
+    """Top-level container holding a single block of ops (functions)."""
+
+    name = "builtin.module"
+    traits = frozenset([IsolatedFromAbove])
+
+    def __init__(self, ops: Sequence[Operation] = ()):
+        block = Block()
+        block.add_ops(ops)
+        super().__init__(regions=[Region([block])])
+
+    @property
+    def block(self) -> Block:
+        """The module's single block."""
+        return self.body.block
+
+    @property
+    def ops(self) -> tuple[Operation, ...]:
+        """Top-level operations of the module."""
+        return self.block.ops
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self.block.ops)
+
+
+class UnrealizedConversionCastOp(Operation):
+    """Temporary bridge between type systems during progressive lowering.
+
+    Conversion passes use casts to connect not-yet-lowered consumers with
+    already-lowered producers; a completed pipeline leaves none behind.
+    """
+
+    name = "builtin.unrealized_conversion_cast"
+
+    def __init__(self, value, result_type):
+        super().__init__(operands=[value], result_types=[result_type])
+
+    @property
+    def input(self):
+        """The value being reinterpreted."""
+        return self.operands[0]
+
+    @property
+    def output(self):
+        """The reinterpreted result value."""
+        return self.results[0]
+
+
+__all__ = ["ModuleOp", "UnrealizedConversionCastOp"]

@@ -1,0 +1,93 @@
+"""The ``func`` dialect: functions with by-reference memref arguments."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..ir.attributes import (
+    FunctionType,
+    StringAttr,
+    TypeAttribute,
+)
+from ..ir.core import Block, IRError, Operation, Region, SSAValue
+from ..ir.traits import IsolatedFromAbove, IsTerminator
+
+
+class FuncOp(Operation):
+    """A function definition.
+
+    Micro-kernels are functions taking memref arguments by reference
+    (paper Figure 2) and returning nothing.
+    """
+
+    name = "func.func"
+    traits = frozenset([IsolatedFromAbove])
+
+    def __init__(
+        self,
+        sym_name: str,
+        input_types: Sequence[TypeAttribute],
+        result_types: Sequence[TypeAttribute] = (),
+        region: Region | None = None,
+    ):
+        if region is None:
+            region = Region([Block(input_types)])
+        super().__init__(
+            attributes={
+                "sym_name": StringAttr(sym_name),
+                "function_type": FunctionType(input_types, result_types),
+            },
+            regions=[region],
+        )
+
+    @property
+    def sym_name(self) -> str:
+        """The function's symbol name."""
+        attr = self.attributes["sym_name"]
+        assert isinstance(attr, StringAttr)
+        return attr.value
+
+    @property
+    def function_type(self) -> FunctionType:
+        """The function's signature."""
+        attr = self.attributes["function_type"]
+        assert isinstance(attr, FunctionType)
+        return attr
+
+    @property
+    def entry_block(self) -> Block:
+        """The function's entry block."""
+        block = self.body.first_block
+        if block is None:
+            raise IRError("function has no body")
+        return block
+
+    @property
+    def args(self) -> list[SSAValue]:
+        """The entry block arguments (the function's parameters)."""
+        return list(self.entry_block.args)
+
+    def verify_(self) -> None:
+        block = self.body.first_block
+        if block is None:
+            return
+        expected = self.function_type.inputs
+        got = tuple(a.type for a in block.args)
+        if got != expected:
+            raise IRError(
+                f"func.func @{self.sym_name}: entry block args {got} do not "
+                f"match signature {expected}"
+            )
+
+
+class ReturnOp(Operation):
+    """Terminator returning from a function."""
+
+    name = "func.return"
+    traits = frozenset([IsTerminator])
+
+    def __init__(self, values: Sequence[SSAValue] = ()):
+        super().__init__(operands=list(values))
+
+
+__all__ = ["FuncOp", "ReturnOp"]

@@ -1,0 +1,235 @@
+"""The ``linalg`` dialect: structured linear algebra on memrefs.
+
+``linalg.generic`` is the high-level entry point of the compiler: it
+carries (i) explicit iterator types, (ii) affine maps from iteration space
+to operand data, (iii) an iteration space defined by the operand shapes and
+(iv) a scalar computation body (paper Section 2.2).  The multi-level
+backend's key move is to *keep* this information rather than lowering to
+loops and reconstructing it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..ir.affine_map import AffineMap
+from ..ir.attributes import (
+    ArrayAttr,
+    DenseIntAttr,
+    MemRefType,
+    StringAttr,
+)
+from ..ir.core import Block, IRError, Operation, Region, SSAValue
+from ..ir.traits import HasMemoryEffect, IsTerminator
+
+#: Legal iterator kinds for linalg.generic.
+ITERATOR_KINDS = ("parallel", "reduction")
+
+
+class GenericOp(Operation):
+    """The versatile ``linalg.generic`` operation.
+
+    Operands are ``inputs`` then ``outputs`` (all memrefs here); the body
+    block takes one scalar per input followed by one scalar per output
+    (the current value of the output element) and yields the new output
+    values.
+    """
+
+    name = "linalg.generic"
+    traits = frozenset([HasMemoryEffect])
+
+    def __init__(
+        self,
+        inputs: Sequence[SSAValue],
+        outputs: Sequence[SSAValue],
+        indexing_maps: Sequence[AffineMap],
+        iterator_types: Sequence[str],
+        body: Region,
+    ):
+        inputs = list(inputs)
+        outputs = list(outputs)
+        super().__init__(
+            operands=inputs + outputs,
+            attributes={
+                "indexing_maps": ArrayAttr(list(indexing_maps)),
+                "iterator_types": ArrayAttr(
+                    [StringAttr(k) for k in iterator_types]
+                ),
+                "operand_segment_sizes": DenseIntAttr(
+                    [len(inputs), len(outputs)]
+                ),
+            },
+            regions=[body],
+        )
+
+    # -- operand views --------------------------------------------------------
+
+    @property
+    def _segments(self) -> tuple[int, int]:
+        attr = self.attributes["operand_segment_sizes"]
+        assert isinstance(attr, DenseIntAttr)
+        return attr[0], attr[1]
+
+    @property
+    def inputs(self) -> tuple[SSAValue, ...]:
+        """The input operands."""
+        n_in, _ = self._segments
+        return self.operands[:n_in]
+
+    @property
+    def outputs(self) -> tuple[SSAValue, ...]:
+        """The output operands."""
+        n_in, n_out = self._segments
+        return self.operands[n_in : n_in + n_out]
+
+    # -- attribute views ----------------------------------------------------------
+
+    @property
+    def indexing_maps(self) -> list[AffineMap]:
+        """One affine map per operand (inputs then outputs)."""
+        attr = self.attributes["indexing_maps"]
+        assert isinstance(attr, ArrayAttr)
+        return [m for m in attr.elements]  # type: ignore[misc]
+
+    @property
+    def iterator_types(self) -> list[str]:
+        """Iterator kind per iteration dimension."""
+        attr = self.attributes["iterator_types"]
+        assert isinstance(attr, ArrayAttr)
+        return [s.value for s in attr.elements]  # type: ignore[union-attr]
+
+    @property
+    def body_block(self) -> Block:
+        """The scalar computation body."""
+        return self.body.block
+
+    # -- derived information ---------------------------------------------------------
+
+    def iteration_bounds(self) -> tuple[int, ...]:
+        """Infer the iteration-space bounds from operand shapes.
+
+        linalg's contract: each operand's shape constrains the dims its
+        indexing map touches (paper Section 2.2 property iii).  Two
+        kinds of constraints are solved:
+
+        * an axis indexed by a single dim ``d`` bounds it by the axis
+          size;
+        * an axis indexed by a *sum* of dims (convolution/pooling
+          windows, ``d0 + d2``) gives the sliding-window relation
+          ``sum(bound_i - 1) + 1 == axis size``, solved once all but
+          one participating dim is known.
+        """
+        num_dims = len(self.iterator_types)
+        bounds: list[int | None] = [None] * num_dims
+        # (participating dims, axis size) constraints with unit coeffs.
+        constraints: list[tuple[list[int], int]] = []
+        for value, amap in zip(self.operands, self.indexing_maps):
+            vtype = value.type
+            if not isinstance(vtype, MemRefType):
+                continue
+            deltas = amap.unit_deltas()  # per dim, per axis
+            for axis in range(amap.num_results):
+                coeffs = [deltas[dim][axis] for dim in range(num_dims)]
+                if any(c not in (0, 1) for c in coeffs):
+                    continue  # non-unit stride: not a bound constraint
+                dims = [d for d, c in enumerate(coeffs) if c == 1]
+                if not dims:
+                    continue
+                constraints.append((dims, vtype.shape[axis]))
+        # Iteratively resolve: direct constraints first, then windows.
+        for _ in range(num_dims + 1):
+            progress = False
+            for dims, size in constraints:
+                unknown = [d for d in dims if bounds[d] is None]
+                if len(dims) == 1:
+                    d = dims[0]
+                    if bounds[d] is None or size < bounds[d]:
+                        bounds[d] = size
+                        progress = True
+                elif len(unknown) == 1:
+                    known_span = sum(
+                        bounds[d] - 1 for d in dims if bounds[d] is not None
+                    )
+                    inferred = size - known_span
+                    d = unknown[0]
+                    if inferred >= 1 and (
+                        bounds[d] is None or inferred < bounds[d]
+                    ):
+                        bounds[d] = inferred
+                        progress = True
+            if not progress:
+                break
+        if any(b is None for b in bounds):
+            raise IRError(
+                "linalg.generic: could not infer all iteration bounds"
+            )
+        return tuple(bounds)  # type: ignore[arg-type]
+
+    def verify_(self) -> None:
+        if len(self.indexing_maps) != len(self.operands):
+            raise IRError(
+                "linalg.generic: one indexing map per operand required"
+            )
+        for kind in self.iterator_types:
+            if kind not in ITERATOR_KINDS:
+                raise IRError(
+                    f"linalg.generic: unknown iterator type {kind!r}"
+                )
+        num_dims = len(self.iterator_types)
+        for amap in self.indexing_maps:
+            if amap.num_dims != num_dims:
+                raise IRError(
+                    "linalg.generic: indexing map dimensionality mismatch"
+                )
+        block = self.body.first_block
+        if block is None or not isinstance(block.last_op, YieldOp):
+            raise IRError("linalg.generic: body must end with linalg.yield")
+        if len(block.args) != len(self.operands):
+            raise IRError(
+                "linalg.generic: body takes one scalar per operand"
+            )
+        if len(block.last_op.operands) != len(self.outputs):
+            raise IRError(
+                "linalg.generic: yield arity must match output count"
+            )
+
+
+class YieldOp(Operation):
+    """Terminator of a ``linalg.generic`` body."""
+
+    name = "linalg.yield"
+    traits = frozenset([IsTerminator])
+
+    def __init__(self, values: Sequence[SSAValue] = ()):
+        super().__init__(operands=list(values))
+
+
+class FillOp(Operation):
+    """Fills an output buffer with a scalar (zeroing before a MatMul)."""
+
+    name = "linalg.fill"
+    traits = frozenset([HasMemoryEffect])
+
+    def __init__(self, value: SSAValue, output: SSAValue):
+        if not isinstance(output.type, MemRefType):
+            raise IRError("linalg.fill: output must be a memref")
+        super().__init__(operands=[value, output])
+
+    @property
+    def fill_value(self) -> SSAValue:
+        """The scalar written to every element."""
+        return self.operands[0]
+
+    @property
+    def output(self) -> SSAValue:
+        """The buffer being filled."""
+        return self.operands[1]
+
+    def verify_(self) -> None:
+        out_type = self.output.type
+        assert isinstance(out_type, MemRefType)
+        if self.fill_value.type != out_type.element_type:
+            raise IRError("linalg.fill: scalar type mismatch")
+
+
+__all__ = ["GenericOp", "YieldOp", "FillOp", "ITERATOR_KINDS"]

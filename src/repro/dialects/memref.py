@@ -1,0 +1,127 @@
+"""The ``memref`` dialect: loads/stores on shaped buffers."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..ir.attributes import MemRefType
+from ..ir.core import IRError, Operation, SSAValue
+from ..ir.traits import HasMemoryEffect
+
+
+def _memref_type(value: SSAValue) -> MemRefType:
+    if not isinstance(value.type, MemRefType):
+        raise IRError(f"expected a memref value, got {value.type}")
+    return value.type
+
+
+class LoadOp(Operation):
+    """Reads one element: ``%v = memref.load %buf[%i, %j]``."""
+
+    name = "memref.load"
+    traits = frozenset([HasMemoryEffect])
+
+    def __init__(self, memref: SSAValue, indices: Sequence[SSAValue]):
+        memref_type = _memref_type(memref)
+        super().__init__(
+            operands=[memref] + list(indices),
+            result_types=[memref_type.element_type],
+        )
+
+    @property
+    def memref(self) -> SSAValue:
+        """The buffer being read."""
+        return self.operands[0]
+
+    @property
+    def indices(self) -> tuple[SSAValue, ...]:
+        """The per-dimension indices."""
+        return self.operands[1:]
+
+    @property
+    def result(self) -> SSAValue:
+        """The loaded element."""
+        return self.results[0]
+
+    def verify_(self) -> None:
+        memref_type = _memref_type(self.memref)
+        if len(self.indices) != memref_type.rank:
+            raise IRError(
+                f"memref.load: {len(self.indices)} indices for rank-"
+                f"{memref_type.rank} memref"
+            )
+
+
+class StoreOp(Operation):
+    """Writes one element: ``memref.store %v, %buf[%i, %j]``."""
+
+    name = "memref.store"
+    traits = frozenset([HasMemoryEffect])
+
+    def __init__(
+        self,
+        value: SSAValue,
+        memref: SSAValue,
+        indices: Sequence[SSAValue],
+    ):
+        _memref_type(memref)
+        super().__init__(operands=[value, memref] + list(indices))
+
+    @property
+    def value(self) -> SSAValue:
+        """The element being written."""
+        return self.operands[0]
+
+    @property
+    def memref(self) -> SSAValue:
+        """The buffer being written."""
+        return self.operands[1]
+
+    @property
+    def indices(self) -> tuple[SSAValue, ...]:
+        """The per-dimension indices."""
+        return self.operands[2:]
+
+    def verify_(self) -> None:
+        memref_type = _memref_type(self.memref)
+        if len(self.indices) != memref_type.rank:
+            raise IRError(
+                f"memref.store: {len(self.indices)} indices for rank-"
+                f"{memref_type.rank} memref"
+            )
+        if self.value.type != memref_type.element_type:
+            raise IRError("memref.store: value type mismatch")
+
+
+class AllocOp(Operation):
+    """Allocates a buffer (used by tests and examples, not kernels)."""
+
+    name = "memref.alloc"
+    traits = frozenset([HasMemoryEffect])
+
+    def __init__(self, memref_type: MemRefType):
+        super().__init__(result_types=[memref_type])
+
+    @property
+    def result(self) -> SSAValue:
+        """The allocated buffer."""
+        return self.results[0]
+
+
+class DeallocOp(Operation):
+    """Frees a buffer allocated by :class:`AllocOp`."""
+
+    name = "memref.dealloc"
+    traits = frozenset([HasMemoryEffect])
+
+    def __init__(self, memref: SSAValue):
+        _memref_type(memref)
+        super().__init__(operands=[memref])
+
+    @property
+    def memref(self) -> SSAValue:
+        """The buffer being freed."""
+        return self.operands[0]
+
+
+__all__ = ["LoadOp", "StoreOp", "AllocOp", "DeallocOp"]

@@ -1,0 +1,761 @@
+"""The ``rv`` dialect: the RISC-V base ISA as an SSA IR.
+
+Assembly instructions become operations "where source and destination
+registers correspond, respectively, to operands and results" (paper
+Section 3.1, Figure 6).  Registers live in the *types*: a value of type
+``!rv.reg<t0>`` is allocated to ``t0``; ``!rv.reg`` is not yet allocated.
+Register allocation therefore simply refines types in place.
+
+Every instruction knows how to print itself as one line of assembly via
+:meth:`RISCVInstruction.assembly_line`; ops like ``rv.get_register`` that
+exist only to bridge SSA and registers print nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..ir.attributes import IntAttr, StringAttr, TypeAttribute
+from ..ir.core import IRError, Operation, SSAValue
+from ..ir.traits import HasMemoryEffect, Pure
+
+
+# ---------------------------------------------------------------------------
+# Register types
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IntRegisterType(TypeAttribute):
+    """An integer register; empty name means "not yet allocated"."""
+
+    register: str = ""
+
+    @property
+    def is_allocated(self) -> bool:
+        """Whether a concrete register has been assigned."""
+        return bool(self.register)
+
+    def __str__(self) -> str:
+        if self.register:
+            return f"!rv.reg<{self.register}>"
+        return "!rv.reg"
+
+
+@dataclass(frozen=True)
+class FloatRegisterType(TypeAttribute):
+    """A floating-point register; empty name means "not yet allocated"."""
+
+    register: str = ""
+
+    @property
+    def is_allocated(self) -> bool:
+        """Whether a concrete register has been assigned."""
+        return bool(self.register)
+
+    def __str__(self) -> str:
+        if self.register:
+            return f"!rv.freg<{self.register}>"
+        return "!rv.freg"
+
+
+RegisterType = IntRegisterType | FloatRegisterType
+
+
+def reg_name(value: SSAValue) -> str:
+    """The concrete register holding ``value`` (must be allocated)."""
+    vtype = value.type
+    if not isinstance(vtype, (IntRegisterType, FloatRegisterType)):
+        raise IRError(f"value is not register-typed: {vtype}")
+    if not vtype.is_allocated:
+        raise IRError("value has no register allocated yet")
+    return vtype.register
+
+
+# ---------------------------------------------------------------------------
+# Instruction base classes
+# ---------------------------------------------------------------------------
+
+
+class RISCVInstruction(Operation):
+    """Base class of ops that correspond to one assembly instruction."""
+
+    #: Assembly mnemonic; empty for non-printing ops.
+    mnemonic = ""
+
+    #: ``(operand index, result index)`` that must share one register
+    #: (read-modify-write instructions like ``vfmac.s``), or ``None``.
+    tied: tuple[int, int] | None = None
+
+    def assembly_line(self) -> str | None:
+        """Render this op as one line of assembly (None: prints nothing)."""
+        parts = self.assembly_args()
+        if parts:
+            return f"{self.mnemonic} {', '.join(parts)}"
+        return self.mnemonic
+
+    def assembly_args(self) -> list[str]:
+        """Operand/result fields of the instruction, in assembly order."""
+        args = [reg_name(r) for r in self.results]
+        args += [reg_name(v) for v in self.operands]
+        return args
+
+
+class RdRsRsInstruction(RISCVInstruction):
+    """``op rd, rs1, rs2`` with integer result and operands."""
+
+    traits = frozenset([Pure])
+
+    def __init__(
+        self,
+        rs1: SSAValue,
+        rs2: SSAValue,
+        result_type: IntRegisterType | None = None,
+    ):
+        super().__init__(
+            operands=[rs1, rs2],
+            result_types=[result_type or IntRegisterType()],
+        )
+
+    @property
+    def rs1(self) -> SSAValue:
+        """First source register."""
+        return self.operands[0]
+
+    @property
+    def rs2(self) -> SSAValue:
+        """Second source register."""
+        return self.operands[1]
+
+    @property
+    def rd(self) -> SSAValue:
+        """Destination register."""
+        return self.results[0]
+
+
+class FRdRsRsInstruction(RISCVInstruction):
+    """``op rd, rs1, rs2`` over floating-point registers."""
+
+    traits = frozenset([Pure])
+
+    def __init__(
+        self,
+        rs1: SSAValue,
+        rs2: SSAValue,
+        result_type: FloatRegisterType | None = None,
+    ):
+        super().__init__(
+            operands=[rs1, rs2],
+            result_types=[result_type or FloatRegisterType()],
+        )
+
+    @property
+    def rs1(self) -> SSAValue:
+        """First source register."""
+        return self.operands[0]
+
+    @property
+    def rs2(self) -> SSAValue:
+        """Second source register."""
+        return self.operands[1]
+
+    @property
+    def rd(self) -> SSAValue:
+        """Destination register."""
+        return self.results[0]
+
+
+class RdRsImmInstruction(RISCVInstruction):
+    """``op rd, rs1, imm``."""
+
+    traits = frozenset([Pure])
+
+    def __init__(
+        self,
+        rs1: SSAValue,
+        immediate: int,
+        result_type: IntRegisterType | None = None,
+    ):
+        super().__init__(
+            operands=[rs1],
+            result_types=[result_type or IntRegisterType()],
+            attributes={"immediate": IntAttr(immediate)},
+        )
+
+    @property
+    def rs1(self) -> SSAValue:
+        """Source register."""
+        return self.operands[0]
+
+    @property
+    def rd(self) -> SSAValue:
+        """Destination register."""
+        return self.results[0]
+
+    @property
+    def immediate(self) -> int:
+        """The immediate operand."""
+        attr = self.attributes["immediate"]
+        assert isinstance(attr, IntAttr)
+        return attr.value
+
+    def assembly_args(self) -> list[str]:
+        return [
+            reg_name(self.rd),
+            reg_name(self.rs1),
+            str(self.immediate),
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Register materialisation & moves
+# ---------------------------------------------------------------------------
+
+
+class GetRegisterOp(RISCVInstruction):
+    """Creates an SSA value naming a specific register; prints nothing.
+
+    "These exist to create SSA values in the IR, bridging SSA semantics
+    and our representation of registers in types" (paper Figure 6, item 2).
+    """
+
+    name = "rv.get_register"
+    traits = frozenset([Pure])
+
+    def __init__(self, register_type: RegisterType):
+        super().__init__(result_types=[register_type])
+
+    @property
+    def result(self) -> SSAValue:
+        """The register-typed value."""
+        return self.results[0]
+
+    def assembly_line(self) -> str | None:
+        return None
+
+
+class LiOp(RISCVInstruction):
+    """``li rd, imm``: load an immediate."""
+
+    name = "rv.li"
+    traits = frozenset([Pure])
+
+    def __init__(
+        self,
+        immediate: int,
+        result_type: IntRegisterType | None = None,
+    ):
+        super().__init__(
+            result_types=[result_type or IntRegisterType()],
+            attributes={"immediate": IntAttr(immediate)},
+        )
+
+    mnemonic = "li"
+
+    @property
+    def rd(self) -> SSAValue:
+        """Destination register."""
+        return self.results[0]
+
+    @property
+    def immediate(self) -> int:
+        """The immediate loaded."""
+        attr = self.attributes["immediate"]
+        assert isinstance(attr, IntAttr)
+        return attr.value
+
+    def assembly_args(self) -> list[str]:
+        return [reg_name(self.rd), str(self.immediate)]
+
+
+class MVOp(RISCVInstruction):
+    """``mv rd, rs``: integer register copy."""
+
+    name = "rv.mv"
+    mnemonic = "mv"
+    traits = frozenset([Pure])
+
+    def __init__(
+        self, rs: SSAValue, result_type: IntRegisterType | None = None
+    ):
+        super().__init__(
+            operands=[rs],
+            result_types=[result_type or IntRegisterType()],
+        )
+
+    @property
+    def rs(self) -> SSAValue:
+        """Source register."""
+        return self.operands[0]
+
+    @property
+    def rd(self) -> SSAValue:
+        """Destination register."""
+        return self.results[0]
+
+
+class FMVOp(RISCVInstruction):
+    """``fmv.d rd, rs``: floating-point register copy."""
+
+    name = "rv.fmv.d"
+    mnemonic = "fmv.d"
+    traits = frozenset([Pure])
+
+    def __init__(
+        self, rs: SSAValue, result_type: FloatRegisterType | None = None
+    ):
+        super().__init__(
+            operands=[rs],
+            result_types=[result_type or FloatRegisterType()],
+        )
+
+    @property
+    def rs(self) -> SSAValue:
+        """Source register."""
+        return self.operands[0]
+
+    @property
+    def rd(self) -> SSAValue:
+        """Destination register."""
+        return self.results[0]
+
+
+class FCvtDWOp(RISCVInstruction):
+    """``fcvt.d.w rd, rs``: convert integer to double."""
+
+    name = "rv.fcvt.d.w"
+    mnemonic = "fcvt.d.w"
+    traits = frozenset([Pure])
+
+    def __init__(
+        self, rs: SSAValue, result_type: FloatRegisterType | None = None
+    ):
+        super().__init__(
+            operands=[rs],
+            result_types=[result_type or FloatRegisterType()],
+        )
+
+
+# ---------------------------------------------------------------------------
+# Integer arithmetic
+# ---------------------------------------------------------------------------
+
+
+class AddOp(RdRsRsInstruction):
+    """``add rd, rs1, rs2``."""
+
+    name = "rv.add"
+    mnemonic = "add"
+
+
+class SubOp(RdRsRsInstruction):
+    """``sub rd, rs1, rs2``."""
+
+    name = "rv.sub"
+    mnemonic = "sub"
+
+
+class MulOp(RdRsRsInstruction):
+    """``mul rd, rs1, rs2`` (M extension; shared mul/div unit on Snitch)."""
+
+    name = "rv.mul"
+    mnemonic = "mul"
+
+
+class AddiOp(RdRsImmInstruction):
+    """``addi rd, rs1, imm``."""
+
+    name = "rv.addi"
+    mnemonic = "addi"
+
+
+class SlliOp(RdRsImmInstruction):
+    """``slli rd, rs1, imm``: shift left logical immediate."""
+
+    name = "rv.slli"
+    mnemonic = "slli"
+
+
+# ---------------------------------------------------------------------------
+# Memory access
+# ---------------------------------------------------------------------------
+
+
+class LwOp(RISCVInstruction):
+    """``lw rd, imm(rs1)``: integer load."""
+
+    name = "rv.lw"
+    mnemonic = "lw"
+    traits = frozenset([HasMemoryEffect])
+
+    def __init__(
+        self,
+        base: SSAValue,
+        immediate: int = 0,
+        result_type: IntRegisterType | None = None,
+    ):
+        super().__init__(
+            operands=[base],
+            result_types=[result_type or IntRegisterType()],
+            attributes={"immediate": IntAttr(immediate)},
+        )
+
+    @property
+    def base(self) -> SSAValue:
+        """Base address register."""
+        return self.operands[0]
+
+    @property
+    def rd(self) -> SSAValue:
+        """Destination register."""
+        return self.results[0]
+
+    @property
+    def immediate(self) -> int:
+        """Byte offset."""
+        attr = self.attributes["immediate"]
+        assert isinstance(attr, IntAttr)
+        return attr.value
+
+    def assembly_args(self) -> list[str]:
+        return [
+            reg_name(self.rd),
+            f"{self.immediate}({reg_name(self.base)})",
+        ]
+
+
+class SwOp(RISCVInstruction):
+    """``sw rs2, imm(rs1)``: integer store."""
+
+    name = "rv.sw"
+    mnemonic = "sw"
+    traits = frozenset([HasMemoryEffect])
+
+    def __init__(self, value: SSAValue, base: SSAValue, immediate: int = 0):
+        super().__init__(
+            operands=[value, base],
+            attributes={"immediate": IntAttr(immediate)},
+        )
+
+    @property
+    def value(self) -> SSAValue:
+        """Register stored to memory."""
+        return self.operands[0]
+
+    @property
+    def base(self) -> SSAValue:
+        """Base address register."""
+        return self.operands[1]
+
+    @property
+    def immediate(self) -> int:
+        """Byte offset."""
+        attr = self.attributes["immediate"]
+        assert isinstance(attr, IntAttr)
+        return attr.value
+
+    def assembly_args(self) -> list[str]:
+        return [
+            reg_name(self.value),
+            f"{self.immediate}({reg_name(self.base)})",
+        ]
+
+
+class _FLoadOp(RISCVInstruction):
+    """Shared shape of FP loads ``op rd, imm(rs1)``."""
+
+    traits = frozenset([HasMemoryEffect])
+
+    def __init__(
+        self,
+        base: SSAValue,
+        immediate: int = 0,
+        result_type: FloatRegisterType | None = None,
+    ):
+        super().__init__(
+            operands=[base],
+            result_types=[result_type or FloatRegisterType()],
+            attributes={"immediate": IntAttr(immediate)},
+        )
+
+    @property
+    def base(self) -> SSAValue:
+        """Base address register."""
+        return self.operands[0]
+
+    @property
+    def rd(self) -> SSAValue:
+        """Destination FP register."""
+        return self.results[0]
+
+    @property
+    def immediate(self) -> int:
+        """Byte offset."""
+        attr = self.attributes["immediate"]
+        assert isinstance(attr, IntAttr)
+        return attr.value
+
+    def assembly_args(self) -> list[str]:
+        return [
+            reg_name(self.rd),
+            f"{self.immediate}({reg_name(self.base)})",
+        ]
+
+
+class _FStoreOp(RISCVInstruction):
+    """Shared shape of FP stores ``op rs2, imm(rs1)``."""
+
+    traits = frozenset([HasMemoryEffect])
+
+    def __init__(self, value: SSAValue, base: SSAValue, immediate: int = 0):
+        super().__init__(
+            operands=[value, base],
+            attributes={"immediate": IntAttr(immediate)},
+        )
+
+    @property
+    def value(self) -> SSAValue:
+        """FP register stored to memory."""
+        return self.operands[0]
+
+    @property
+    def base(self) -> SSAValue:
+        """Base address register."""
+        return self.operands[1]
+
+    @property
+    def immediate(self) -> int:
+        """Byte offset."""
+        attr = self.attributes["immediate"]
+        assert isinstance(attr, IntAttr)
+        return attr.value
+
+    def assembly_args(self) -> list[str]:
+        return [
+            reg_name(self.value),
+            f"{self.immediate}({reg_name(self.base)})",
+        ]
+
+
+class FLdOp(_FLoadOp):
+    """``fld rd, imm(rs1)``: load a double."""
+
+    name = "rv.fld"
+    mnemonic = "fld"
+
+
+class FLwOp(_FLoadOp):
+    """``flw rd, imm(rs1)``: load a float."""
+
+    name = "rv.flw"
+    mnemonic = "flw"
+
+
+class FSdOp(_FStoreOp):
+    """``fsd rs2, imm(rs1)``: store a double."""
+
+    name = "rv.fsd"
+    mnemonic = "fsd"
+
+
+class FSwOp(_FStoreOp):
+    """``fsw rs2, imm(rs1)``: store a float."""
+
+    name = "rv.fsw"
+    mnemonic = "fsw"
+
+
+# ---------------------------------------------------------------------------
+# Floating-point arithmetic
+# ---------------------------------------------------------------------------
+
+
+class FAddDOp(FRdRsRsInstruction):
+    """``fadd.d rd, rs1, rs2``."""
+
+    name = "rv.fadd.d"
+    mnemonic = "fadd.d"
+
+
+class FSubDOp(FRdRsRsInstruction):
+    """``fsub.d rd, rs1, rs2``."""
+
+    name = "rv.fsub.d"
+    mnemonic = "fsub.d"
+
+
+class FMulDOp(FRdRsRsInstruction):
+    """``fmul.d rd, rs1, rs2``."""
+
+    name = "rv.fmul.d"
+    mnemonic = "fmul.d"
+
+
+class FDivDOp(FRdRsRsInstruction):
+    """``fdiv.d rd, rs1, rs2``."""
+
+    name = "rv.fdiv.d"
+    mnemonic = "fdiv.d"
+
+
+class FMaxDOp(FRdRsRsInstruction):
+    """``fmax.d rd, rs1, rs2``."""
+
+    name = "rv.fmax.d"
+    mnemonic = "fmax.d"
+
+
+class FMinDOp(FRdRsRsInstruction):
+    """``fmin.d rd, rs1, rs2``."""
+
+    name = "rv.fmin.d"
+    mnemonic = "fmin.d"
+
+
+class FAddSOp(FRdRsRsInstruction):
+    """``fadd.s rd, rs1, rs2``."""
+
+    name = "rv.fadd.s"
+    mnemonic = "fadd.s"
+
+
+class FSubSOp(FRdRsRsInstruction):
+    """``fsub.s rd, rs1, rs2``."""
+
+    name = "rv.fsub.s"
+    mnemonic = "fsub.s"
+
+
+class FMulSOp(FRdRsRsInstruction):
+    """``fmul.s rd, rs1, rs2``."""
+
+    name = "rv.fmul.s"
+    mnemonic = "fmul.s"
+
+
+class FMaxSOp(FRdRsRsInstruction):
+    """``fmax.s rd, rs1, rs2``."""
+
+    name = "rv.fmax.s"
+    mnemonic = "fmax.s"
+
+
+class FMinSOp(FRdRsRsInstruction):
+    """``fmin.s rd, rs1, rs2``."""
+
+    name = "rv.fmin.s"
+    mnemonic = "fmin.s"
+
+
+class _FMAInstruction(RISCVInstruction):
+    """Shared shape of fused multiply-add ``op rd, rs1, rs2, rs3``."""
+
+    traits = frozenset([Pure])
+
+    def __init__(
+        self,
+        rs1: SSAValue,
+        rs2: SSAValue,
+        rs3: SSAValue,
+        result_type: FloatRegisterType | None = None,
+    ):
+        super().__init__(
+            operands=[rs1, rs2, rs3],
+            result_types=[result_type or FloatRegisterType()],
+        )
+
+    @property
+    def rs1(self) -> SSAValue:
+        """Multiplicand."""
+        return self.operands[0]
+
+    @property
+    def rs2(self) -> SSAValue:
+        """Multiplier."""
+        return self.operands[1]
+
+    @property
+    def rs3(self) -> SSAValue:
+        """Addend."""
+        return self.operands[2]
+
+    @property
+    def rd(self) -> SSAValue:
+        """Destination register."""
+        return self.results[0]
+
+
+class FMAddDOp(_FMAInstruction):
+    """``fmadd.d rd, rs1, rs2, rs3`` = rs1*rs2 + rs3 (2 FLOPs)."""
+
+    name = "rv.fmadd.d"
+    mnemonic = "fmadd.d"
+
+
+class FMAddSOp(_FMAInstruction):
+    """``fmadd.s rd, rs1, rs2, rs3`` = rs1*rs2 + rs3 (2 FLOPs)."""
+
+    name = "rv.fmadd.s"
+    mnemonic = "fmadd.s"
+
+
+class CommentOp(RISCVInstruction):
+    """A comment line in the emitted assembly (debugging aid)."""
+
+    name = "rv.comment"
+
+    def __init__(self, text: str):
+        super().__init__(attributes={"text": StringAttr(text)})
+
+    @property
+    def text(self) -> str:
+        """The comment text."""
+        attr = self.attributes["text"]
+        assert isinstance(attr, StringAttr)
+        return attr.value
+
+    def assembly_line(self) -> str | None:
+        return f"# {self.text}"
+
+
+__all__ = [
+    "IntRegisterType",
+    "FloatRegisterType",
+    "RegisterType",
+    "reg_name",
+    "RISCVInstruction",
+    "RdRsRsInstruction",
+    "FRdRsRsInstruction",
+    "RdRsImmInstruction",
+    "GetRegisterOp",
+    "LiOp",
+    "MVOp",
+    "FMVOp",
+    "FCvtDWOp",
+    "AddOp",
+    "SubOp",
+    "MulOp",
+    "AddiOp",
+    "SlliOp",
+    "LwOp",
+    "SwOp",
+    "FLdOp",
+    "FLwOp",
+    "FSdOp",
+    "FSwOp",
+    "FAddDOp",
+    "FSubDOp",
+    "FMulDOp",
+    "FDivDOp",
+    "FMaxDOp",
+    "FMinDOp",
+    "FAddSOp",
+    "FSubSOp",
+    "FMulSOp",
+    "FMaxSOp",
+    "FMinSOp",
+    "FMAddDOp",
+    "FMAddSOp",
+    "CommentOp",
+]

@@ -1,0 +1,150 @@
+"""The ``rv_cf`` dialect: unstructured control flow.
+
+These ops appear only at the very bottom of the pipeline, after
+``rv_scf.for`` loops are lowered to labels and conditional branches
+(register allocation happens *before* this, on the structured form —
+that ordering is the point of paper Section 3.3).
+"""
+
+from __future__ import annotations
+
+from ..ir.attributes import StringAttr
+from ..ir.core import Operation, SSAValue
+from ..ir.traits import IsTerminator
+from .riscv import RISCVInstruction, reg_name
+
+
+class LabelOp(RISCVInstruction):
+    """An assembly label definition (``name:``)."""
+
+    name = "rv_cf.label"
+
+    def __init__(self, label: str):
+        super().__init__(attributes={"label": StringAttr(label)})
+
+    @property
+    def label(self) -> str:
+        """The label text."""
+        attr = self.attributes["label"]
+        assert isinstance(attr, StringAttr)
+        return attr.value
+
+    def assembly_line(self) -> str | None:
+        return f"{self.label}:"
+
+
+class _CondBranchOp(RISCVInstruction):
+    """Shared shape of two-register conditional branches."""
+
+    def __init__(self, rs1: SSAValue, rs2: SSAValue, target: str):
+        super().__init__(
+            operands=[rs1, rs2],
+            attributes={"target": StringAttr(target)},
+        )
+
+    @property
+    def rs1(self) -> SSAValue:
+        """First compared register."""
+        return self.operands[0]
+
+    @property
+    def rs2(self) -> SSAValue:
+        """Second compared register."""
+        return self.operands[1]
+
+    @property
+    def target(self) -> str:
+        """The branch target label."""
+        attr = self.attributes["target"]
+        assert isinstance(attr, StringAttr)
+        return attr.value
+
+    def assembly_args(self) -> list[str]:
+        return [reg_name(self.rs1), reg_name(self.rs2), self.target]
+
+
+class BltOp(_CondBranchOp):
+    """``blt rs1, rs2, target``: branch if less-than (signed)."""
+
+    name = "rv_cf.blt"
+    mnemonic = "blt"
+
+
+class BgeOp(_CondBranchOp):
+    """``bge rs1, rs2, target``: branch if greater-or-equal (signed)."""
+
+    name = "rv_cf.bge"
+    mnemonic = "bge"
+
+
+class BneOp(_CondBranchOp):
+    """``bne rs1, rs2, target``: branch if not equal."""
+
+    name = "rv_cf.bne"
+    mnemonic = "bne"
+
+
+class BeqOp(_CondBranchOp):
+    """``beq rs1, rs2, target``: branch if equal."""
+
+    name = "rv_cf.beq"
+    mnemonic = "beq"
+
+
+class BnezOp(RISCVInstruction):
+    """``bnez rs1, target``: branch if non-zero."""
+
+    name = "rv_cf.bnez"
+    mnemonic = "bnez"
+
+    def __init__(self, rs1: SSAValue, target: str):
+        super().__init__(
+            operands=[rs1],
+            attributes={"target": StringAttr(target)},
+        )
+
+    @property
+    def rs1(self) -> SSAValue:
+        """The tested register."""
+        return self.operands[0]
+
+    @property
+    def target(self) -> str:
+        """The branch target label."""
+        attr = self.attributes["target"]
+        assert isinstance(attr, StringAttr)
+        return attr.value
+
+    def assembly_args(self) -> list[str]:
+        return [reg_name(self.rs1), self.target]
+
+
+class JOp(RISCVInstruction):
+    """``j target``: unconditional jump."""
+
+    name = "rv_cf.j"
+    mnemonic = "j"
+
+    def __init__(self, target: str):
+        super().__init__(attributes={"target": StringAttr(target)})
+
+    @property
+    def target(self) -> str:
+        """The jump target label."""
+        attr = self.attributes["target"]
+        assert isinstance(attr, StringAttr)
+        return attr.value
+
+    def assembly_args(self) -> list[str]:
+        return [self.target]
+
+
+__all__ = [
+    "LabelOp",
+    "BltOp",
+    "BgeOp",
+    "BneOp",
+    "BeqOp",
+    "BnezOp",
+    "JOp",
+]

@@ -1,0 +1,115 @@
+"""The ``rv_func`` dialect: ABI-aware functions.
+
+``rv_func.func`` "encodes the application binary interface (ABI)
+constraint of requiring function arguments and results to be passed in A
+registers" (paper Section 3.1): entry block arguments are pre-allocated to
+``a0``, ``a1``, ... / ``fa0``, ... and the register allocator treats them
+as reserved for the whole function (Section 4.3).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..backend.registers import FLOAT_ARG_REGISTERS, INT_ARG_REGISTERS
+from ..ir.attributes import StringAttr
+from ..ir.core import Block, IRError, Operation, Region, SSAValue
+from ..ir.traits import IsolatedFromAbove, IsTerminator
+from .riscv import FloatRegisterType, IntRegisterType, RISCVInstruction
+
+
+def abi_arg_types(
+    kinds: Sequence[str],
+) -> list[IntRegisterType | FloatRegisterType]:
+    """Register types for function arguments.
+
+    ``kinds`` is a sequence of ``"int"`` / ``"float"``; integer and FP
+    arguments are numbered independently, per the RISC-V calling
+    convention.
+    """
+    types: list[IntRegisterType | FloatRegisterType] = []
+    next_int = 0
+    next_float = 0
+    for kind in kinds:
+        if kind == "int":
+            types.append(IntRegisterType(INT_ARG_REGISTERS[next_int]))
+            next_int += 1
+        elif kind == "float":
+            types.append(
+                FloatRegisterType(FLOAT_ARG_REGISTERS[next_float])
+            )
+            next_float += 1
+        else:
+            raise IRError(f"unknown ABI argument kind {kind!r}")
+    return types
+
+
+class FuncOp(Operation):
+    """A function whose arguments live in ABI argument registers."""
+
+    name = "rv_func.func"
+    traits = frozenset([IsolatedFromAbove])
+
+    def __init__(
+        self,
+        sym_name: str,
+        arg_types: Sequence[IntRegisterType | FloatRegisterType],
+        region: Region | None = None,
+    ):
+        if region is None:
+            region = Region([Block(list(arg_types))])
+        super().__init__(
+            attributes={"sym_name": StringAttr(sym_name)},
+            regions=[region],
+        )
+
+    @property
+    def sym_name(self) -> str:
+        """The function's symbol name."""
+        attr = self.attributes["sym_name"]
+        assert isinstance(attr, StringAttr)
+        return attr.value
+
+    @property
+    def entry_block(self) -> Block:
+        """The function body's entry block."""
+        block = self.body.first_block
+        if block is None:
+            raise IRError("rv_func.func: missing body")
+        return block
+
+    @property
+    def args(self) -> list[SSAValue]:
+        """Function arguments (pre-allocated to ABI registers)."""
+        return list(self.entry_block.args)
+
+    def verify_(self) -> None:
+        for arg in self.entry_block.args:
+            if not isinstance(
+                arg.type, (IntRegisterType, FloatRegisterType)
+            ):
+                raise IRError(
+                    "rv_func.func: arguments must be register-typed"
+                )
+            if not arg.type.is_allocated:
+                raise IRError(
+                    "rv_func.func: arguments must be pre-allocated to ABI "
+                    "registers"
+                )
+
+
+class ReturnOp(RISCVInstruction):
+    """``ret``: return from the function."""
+
+    name = "rv_func.return"
+    mnemonic = "ret"
+    traits = frozenset([IsTerminator])
+
+    def __init__(self):
+        super().__init__()
+
+    def assembly_args(self) -> list[str]:
+        return []
+
+
+__all__ = ["FuncOp", "ReturnOp", "abi_arg_types"]

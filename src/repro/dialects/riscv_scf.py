@@ -1,0 +1,125 @@
+"""The ``rv_scf`` dialect: structured for-loops over registers.
+
+``rv_scf.for`` mirrors ``scf.for`` but its bounds, step, induction
+variable and iteration values are all register-typed.  Keeping the loop
+structured "eases optimizations and live range construction during
+register allocation" (paper Section 3.1); it is lowered to ``rv_cf``
+labels and branches only *after* registers are assigned.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..ir.attributes import TypeAttribute
+from ..ir.core import Block, IRError, Operation, Region, SSAValue
+from ..ir.traits import IsTerminator
+from .riscv import FloatRegisterType, IntRegisterType
+
+
+class ForOp(Operation):
+    """``rv_scf.for %iv = %lb to %ub step %step iter_args(...)``.
+
+    The body block's first argument is the induction variable (an integer
+    register); further arguments carry the loop state.  Results equal the
+    values yielded on the final iteration.
+    """
+
+    name = "rv_scf.for"
+
+    def __init__(
+        self,
+        lower_bound: SSAValue,
+        upper_bound: SSAValue,
+        step: SSAValue,
+        iter_args: Sequence[SSAValue] = (),
+        body: Region | None = None,
+    ):
+        iter_args = list(iter_args)
+        # Body arguments and results start *unallocated* even when the
+        # initial values already sit in concrete registers: the register
+        # allocator decides whether the loop-carried group can share the
+        # init's register (it cannot when the init stays live past the
+        # loop header).
+        fresh_types = [type(v.type)() for v in iter_args]
+        if body is None:
+            arg_types: list[TypeAttribute] = [IntRegisterType()]
+            arg_types += fresh_types
+            body = Region([Block(arg_types)])
+        super().__init__(
+            operands=[lower_bound, upper_bound, step] + iter_args,
+            result_types=fresh_types,
+            regions=[body],
+        )
+
+    @property
+    def lower_bound(self) -> SSAValue:
+        """Loop lower bound register (inclusive)."""
+        return self.operands[0]
+
+    @property
+    def upper_bound(self) -> SSAValue:
+        """Loop upper bound register (exclusive)."""
+        return self.operands[1]
+
+    @property
+    def step(self) -> SSAValue:
+        """Loop step register."""
+        return self.operands[2]
+
+    @property
+    def iter_args(self) -> tuple[SSAValue, ...]:
+        """Initial values of loop-carried registers."""
+        return self.operands[3:]
+
+    @property
+    def body_block(self) -> Block:
+        """The loop body."""
+        return self.body.block
+
+    @property
+    def induction_variable(self) -> SSAValue:
+        """The induction variable register."""
+        return self.body_block.args[0]
+
+    @property
+    def body_iter_args(self) -> list[SSAValue]:
+        """Body block args carrying the iteration state."""
+        return list(self.body_block.args[1:])
+
+    def verify_(self) -> None:
+        for bound in self.operands[:3]:
+            if not isinstance(bound.type, IntRegisterType):
+                raise IRError(
+                    "rv_scf.for: bounds and step must be integer registers"
+                )
+        block = self.body.first_block
+        if block is None:
+            raise IRError("rv_scf.for: empty body")
+        if not block.args or not isinstance(
+            block.args[0].type, IntRegisterType
+        ):
+            raise IRError(
+                "rv_scf.for: first body argument must be the integer "
+                "induction variable"
+            )
+        if len(block.args) != 1 + len(self.iter_args):
+            raise IRError("rv_scf.for: body argument arity mismatch")
+        last = block.last_op
+        if not isinstance(last, YieldOp):
+            raise IRError("rv_scf.for: body must end with rv_scf.yield")
+        if len(last.operands) != len(self.results):
+            raise IRError("rv_scf.for: yield arity mismatch")
+
+
+class YieldOp(Operation):
+    """Terminator carrying loop state to the next iteration."""
+
+    name = "rv_scf.yield"
+    traits = frozenset([IsTerminator])
+
+    def __init__(self, values: Sequence[SSAValue] = ()):
+        super().__init__(operands=list(values))
+
+
+__all__ = ["ForOp", "YieldOp"]

@@ -1,0 +1,444 @@
+"""The ``rv_snitch`` dialect: Snitch ISA extensions as SSA ops.
+
+Models the three Snitch-specific capabilities (paper Sections 2.4, 3.2):
+
+* **FREP** hardware loops — ``rv_snitch.frep_outer`` has a region body and
+  an iteration-count operand "along with a mechanism to accumulate
+  results" (loop-carried iter_args), with the constraint that only FP and
+  stream operations appear in the body;
+* **stream interaction** — ``rv_snitch.read``/``rv_snitch.write`` make the
+  memory effects of stream semantic registers explicit in the IR;
+* **configuration and packed SIMD** — ``scfgwi``, ``csrsi``/``csrci`` on
+  ``ssrcfg`` and the pre-standard Snitch packed-SIMD instructions
+  operating on the 8-lane 64-bit FP registers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..ir.attributes import IntAttr, StringAttr
+from ..ir.core import Block, IRError, Operation, Region, SSAValue
+from ..ir.traits import HasMemoryEffect, IsTerminator, Pure
+from .riscv import (
+    FloatRegisterType,
+    FRdRsRsInstruction,
+    IntRegisterType,
+    RISCVInstruction,
+    reg_name,
+)
+from .stream import ReadableStreamType, WritableStreamType
+
+
+class FrepOuter(Operation):
+    """``frep.o``: repeat the FP instruction body ``max_rep + 1`` times.
+
+    The count operand holds ``iterations - 1``, matching the hardware
+    semantics ("repeat a0 times the following N instructions", paper
+    Figure 4).  Iteration results are loop-carried through ``iter_args``,
+    whose registers the allocator pins to match across iterations.
+    """
+
+    name = "rv_snitch.frep_outer"
+
+    def __init__(
+        self,
+        max_rep: SSAValue,
+        iter_args: Sequence[SSAValue] = (),
+        body: Region | None = None,
+    ):
+        iter_args = list(iter_args)
+        # Fresh unallocated types: the allocator unifies the loop-carried
+        # group (including the inits — FREP has no way to move values in).
+        fresh_types = [type(v.type)() for v in iter_args]
+        if body is None:
+            body = Region([Block(fresh_types)])
+        super().__init__(
+            operands=[max_rep] + iter_args,
+            result_types=fresh_types,
+            regions=[body],
+        )
+
+    @property
+    def max_rep(self) -> SSAValue:
+        """Register holding the repeat count minus one."""
+        return self.operands[0]
+
+    @property
+    def iter_args(self) -> tuple[SSAValue, ...]:
+        """Initial values of the loop-carried FP registers."""
+        return self.operands[1:]
+
+    @property
+    def body_block(self) -> Block:
+        """The repeated instruction sequence."""
+        return self.body.block
+
+    @property
+    def body_iter_args(self) -> list[SSAValue]:
+        """Body block args carrying the accumulator state."""
+        return list(self.body_block.args)
+
+    def verify_(self) -> None:
+        if not isinstance(self.max_rep.type, IntRegisterType):
+            raise IRError(
+                "frep_outer: repeat count must be an integer register"
+            )
+        block = self.body.first_block
+        if block is None:
+            raise IRError("frep_outer: empty body")
+        if len(block.args) != len(self.iter_args):
+            raise IRError("frep_outer: body argument arity mismatch")
+        for arg in block.args:
+            if not isinstance(arg.type, FloatRegisterType):
+                raise IRError(
+                    "frep_outer: loop-carried values must be FP registers"
+                )
+        last = block.last_op
+        if not isinstance(last, FrepYieldOp):
+            raise IRError("frep_outer: body must end with frep_yield")
+        if len(last.operands) != len(self.results):
+            raise IRError("frep_outer: yield arity mismatch")
+        for op in block.ops:
+            if isinstance(op, (FrepYieldOp, ReadOp, WriteOp)):
+                continue
+            if not isinstance(op, RISCVInstruction):
+                raise IRError(
+                    f"frep_outer: body op {op.name} is not an instruction"
+                )
+            for value in list(op.operands) + list(op.results):
+                if isinstance(value.type, IntRegisterType):
+                    raise IRError(
+                        "frep_outer: only FP and stream instructions are "
+                        f"allowed in the body (found {op.name})"
+                    )
+
+    def body_instruction_count(self) -> int:
+        """Number of assembly instructions inside the FREP body."""
+        count = 0
+        for op in self.body_block.ops:
+            if isinstance(op, (FrepYieldOp, ReadOp, WriteOp)):
+                continue
+            if isinstance(op, RISCVInstruction):
+                line = op.assembly_line()
+                if line is not None:
+                    count += 1
+            else:
+                raise IRError(
+                    "frep_outer: body not fully lowered to instructions"
+                )
+        return count
+
+
+class FrepYieldOp(Operation):
+    """Terminator of a FREP body carrying accumulators to next iteration."""
+
+    name = "rv_snitch.frep_yield"
+    traits = frozenset([IsTerminator])
+
+    def __init__(self, values: Sequence[SSAValue] = ()):
+        super().__init__(operands=list(values))
+
+
+class ReadOp(Operation):
+    """``rv_snitch.read from %stream``: pop one element into its SSR.
+
+    The result is always typed with the stream's register (ft0/ft1/ft2);
+    there is no assembly line — consuming instructions simply name the
+    streaming register.
+    """
+
+    name = "rv_snitch.read"
+    traits = frozenset([HasMemoryEffect])
+
+    def __init__(self, stream: SSAValue):
+        stream_type = stream.type
+        if not isinstance(stream_type, ReadableStreamType):
+            raise IRError("rv_snitch.read: operand must be readable stream")
+        if not isinstance(stream_type.element_type, FloatRegisterType):
+            raise IRError(
+                "rv_snitch.read: stream must carry an FP register type"
+            )
+        super().__init__(
+            operands=[stream], result_types=[stream_type.element_type]
+        )
+
+    @property
+    def stream(self) -> SSAValue:
+        """The stream being read."""
+        return self.operands[0]
+
+    @property
+    def result(self) -> SSAValue:
+        """The value in the streaming register."""
+        return self.results[0]
+
+
+class WriteOp(Operation):
+    """``rv_snitch.write %v to %stream``: push one element via its SSR."""
+
+    name = "rv_snitch.write"
+    traits = frozenset([HasMemoryEffect])
+
+    def __init__(self, value: SSAValue, stream: SSAValue):
+        stream_type = stream.type
+        if not isinstance(stream_type, WritableStreamType):
+            raise IRError("rv_snitch.write: operand must be writable stream")
+        super().__init__(operands=[value, stream])
+
+    @property
+    def value(self) -> SSAValue:
+        """The value pushed into the stream."""
+        return self.operands[0]
+
+    @property
+    def stream(self) -> SSAValue:
+        """The stream written to."""
+        return self.operands[1]
+
+
+# ---------------------------------------------------------------------------
+# Stream configuration instructions
+# ---------------------------------------------------------------------------
+
+
+class ScfgwiOp(RISCVInstruction):
+    """``scfgwi rs1, imm``: write an SSR configuration word.
+
+    The immediate encodes which data mover and which configuration word is
+    written (see :mod:`repro.snitch.isa` for the encoding used here).
+    """
+
+    name = "rv_snitch.scfgwi"
+    mnemonic = "scfgwi"
+    traits = frozenset([HasMemoryEffect])
+
+    def __init__(self, value: SSAValue, address: int):
+        super().__init__(
+            operands=[value], attributes={"address": IntAttr(address)}
+        )
+
+    @property
+    def value(self) -> SSAValue:
+        """Register holding the configuration value."""
+        return self.operands[0]
+
+    @property
+    def address(self) -> int:
+        """Configuration word address (data mover + word index)."""
+        attr = self.attributes["address"]
+        assert isinstance(attr, IntAttr)
+        return attr.value
+
+    def assembly_args(self) -> list[str]:
+        return [reg_name(self.value), str(self.address)]
+
+
+class CsrsiOp(RISCVInstruction):
+    """``csrsi csr, imm``: set bits in a CSR (enables streaming)."""
+
+    name = "rv_snitch.csrsi"
+    mnemonic = "csrsi"
+    traits = frozenset([HasMemoryEffect])
+
+    def __init__(self, csr: str, immediate: int):
+        super().__init__(
+            attributes={
+                "csr": StringAttr(csr),
+                "immediate": IntAttr(immediate),
+            }
+        )
+
+    @property
+    def csr(self) -> str:
+        """The CSR name."""
+        attr = self.attributes["csr"]
+        assert isinstance(attr, StringAttr)
+        return attr.value
+
+    @property
+    def immediate(self) -> int:
+        """The bit mask set."""
+        attr = self.attributes["immediate"]
+        assert isinstance(attr, IntAttr)
+        return attr.value
+
+    def assembly_args(self) -> list[str]:
+        return [self.csr, str(self.immediate)]
+
+
+class CsrciOp(CsrsiOp):
+    """``csrci csr, imm``: clear bits in a CSR (disables streaming)."""
+
+    name = "rv_snitch.csrci"
+    mnemonic = "csrci"
+
+
+# ---------------------------------------------------------------------------
+# Packed SIMD (pre-standard Snitch extension, paper Section 2.4)
+# ---------------------------------------------------------------------------
+
+
+class VFAddSOp(FRdRsRsInstruction):
+    """``vfadd.s rd, rs1, rs2``: two f32 lane-wise additions."""
+
+    name = "rv_snitch.vfadd.s"
+    mnemonic = "vfadd.s"
+
+
+class VFMulSOp(FRdRsRsInstruction):
+    """``vfmul.s rd, rs1, rs2``: two f32 lane-wise multiplications."""
+
+    name = "rv_snitch.vfmul.s"
+    mnemonic = "vfmul.s"
+
+
+class VFMaxSOp(FRdRsRsInstruction):
+    """``vfmax.s rd, rs1, rs2``: two f32 lane-wise maxima."""
+
+    name = "rv_snitch.vfmax.s"
+    mnemonic = "vfmax.s"
+
+
+class VFMacSOp(RISCVInstruction):
+    """``vfmac.s rd, rs1, rs2``: lane-wise multiply-accumulate into rd.
+
+    ``rd`` is both read and written, so the op takes the accumulator as an
+    explicit operand and returns its new value.
+    """
+
+    name = "rv_snitch.vfmac.s"
+    mnemonic = "vfmac.s"
+    traits = frozenset([Pure])
+    tied = (0, 0)
+
+    def __init__(
+        self,
+        accumulator: SSAValue,
+        rs1: SSAValue,
+        rs2: SSAValue,
+        result_type: FloatRegisterType | None = None,
+    ):
+        super().__init__(
+            operands=[accumulator, rs1, rs2],
+            result_types=[result_type or FloatRegisterType()],
+        )
+
+    @property
+    def accumulator(self) -> SSAValue:
+        """Accumulator input (allocated to the same register as rd)."""
+        return self.operands[0]
+
+    @property
+    def rs1(self) -> SSAValue:
+        """First multiplicand vector."""
+        return self.operands[1]
+
+    @property
+    def rs2(self) -> SSAValue:
+        """Second multiplicand vector."""
+        return self.operands[2]
+
+    @property
+    def rd(self) -> SSAValue:
+        """New accumulator value."""
+        return self.results[0]
+
+    def assembly_args(self) -> list[str]:
+        return [
+            reg_name(self.rd),
+            reg_name(self.rs1),
+            reg_name(self.rs2),
+        ]
+
+
+class VFSumSOp(RISCVInstruction):
+    """``vfsum.s rd, rs1``: sum the two f32 lanes of rs1 into rd's lane 0.
+
+    ``rd`` accumulates, so the old value is an explicit operand.
+    """
+
+    name = "rv_snitch.vfsum.s"
+    mnemonic = "vfsum.s"
+    traits = frozenset([Pure])
+    tied = (0, 0)
+
+    def __init__(
+        self,
+        accumulator: SSAValue,
+        rs1: SSAValue,
+        result_type: FloatRegisterType | None = None,
+    ):
+        super().__init__(
+            operands=[accumulator, rs1],
+            result_types=[result_type or FloatRegisterType()],
+        )
+
+    @property
+    def accumulator(self) -> SSAValue:
+        """Accumulator input (same register as rd)."""
+        return self.operands[0]
+
+    @property
+    def rs1(self) -> SSAValue:
+        """The packed vector being reduced."""
+        return self.operands[1]
+
+    @property
+    def rd(self) -> SSAValue:
+        """New accumulator value."""
+        return self.results[0]
+
+    def assembly_args(self) -> list[str]:
+        return [reg_name(self.rd), reg_name(self.rs1)]
+
+
+class VFCpkaSSOp(RISCVInstruction):
+    """``vfcpka.s.s rd, rs1, rs2``: pack two f32 scalars into one register."""
+
+    name = "rv_snitch.vfcpka.s.s"
+    mnemonic = "vfcpka.s.s"
+    traits = frozenset([Pure])
+
+    def __init__(
+        self,
+        rs1: SSAValue,
+        rs2: SSAValue,
+        result_type: FloatRegisterType | None = None,
+    ):
+        super().__init__(
+            operands=[rs1, rs2],
+            result_types=[result_type or FloatRegisterType()],
+        )
+
+    @property
+    def rs1(self) -> SSAValue:
+        """Scalar for lane 0."""
+        return self.operands[0]
+
+    @property
+    def rs2(self) -> SSAValue:
+        """Scalar for lane 1."""
+        return self.operands[1]
+
+    @property
+    def rd(self) -> SSAValue:
+        """The packed result."""
+        return self.results[0]
+
+
+__all__ = [
+    "FrepOuter",
+    "FrepYieldOp",
+    "ReadOp",
+    "WriteOp",
+    "ScfgwiOp",
+    "CsrsiOp",
+    "CsrciOp",
+    "VFAddSOp",
+    "VFMulSOp",
+    "VFMaxSOp",
+    "VFMacSOp",
+    "VFSumSOp",
+    "VFCpkaSSOp",
+]

@@ -1,0 +1,111 @@
+"""The ``scf`` dialect: structured control flow.
+
+``scf.for`` "embodies a typical for loop, with an induction variable
+incrementing within an integer range" (paper Section 2.1).  Keeping loops
+structured all the way into the backend is what makes the spill-free
+register allocator possible (Section 3.3).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..ir.attributes import IndexType
+from ..ir.core import Block, IRError, Operation, Region, SSAValue
+from ..ir.traits import IsTerminator
+
+
+class ForOp(Operation):
+    """A counted loop ``for %i = %lb to %ub step %step iter_args(...)``.
+
+    The body block receives the induction variable followed by the
+    iteration arguments; its terminator must be an :class:`YieldOp`
+    yielding the next iteration values.  Loop results equal the final
+    iteration values.
+    """
+
+    name = "scf.for"
+
+    def __init__(
+        self,
+        lower_bound: SSAValue,
+        upper_bound: SSAValue,
+        step: SSAValue,
+        iter_args: Sequence[SSAValue] = (),
+        body: Region | None = None,
+    ):
+        iter_args = list(iter_args)
+        if body is None:
+            body = Region(
+                [Block([IndexType()] + [v.type for v in iter_args])]
+            )
+        super().__init__(
+            operands=[lower_bound, upper_bound, step] + iter_args,
+            result_types=[v.type for v in iter_args],
+            regions=[body],
+        )
+
+    @property
+    def lower_bound(self) -> SSAValue:
+        """Loop lower bound (inclusive)."""
+        return self.operands[0]
+
+    @property
+    def upper_bound(self) -> SSAValue:
+        """Loop upper bound (exclusive)."""
+        return self.operands[1]
+
+    @property
+    def step(self) -> SSAValue:
+        """Loop step."""
+        return self.operands[2]
+
+    @property
+    def iter_args(self) -> tuple[SSAValue, ...]:
+        """Initial values of the loop-carried variables."""
+        return self.operands[3:]
+
+    @property
+    def body_block(self) -> Block:
+        """The loop body."""
+        return self.body.block
+
+    @property
+    def induction_variable(self) -> SSAValue:
+        """The body's induction variable."""
+        return self.body_block.args[0]
+
+    @property
+    def body_iter_args(self) -> list[SSAValue]:
+        """The body block arguments carrying the iteration state."""
+        return list(self.body_block.args[1:])
+
+    def verify_(self) -> None:
+        block = self.body.first_block
+        if block is None:
+            raise IRError("scf.for: empty body")
+        if len(block.args) != 1 + len(self.iter_args):
+            raise IRError(
+                "scf.for: body must take induction variable plus one "
+                "argument per iter_arg"
+            )
+        last = block.last_op
+        if last is None or not isinstance(last, YieldOp):
+            raise IRError("scf.for: body must end with scf.yield")
+        if len(last.operands) != len(self.results):
+            raise IRError(
+                "scf.for: yield arity does not match loop results"
+            )
+
+
+class YieldOp(Operation):
+    """Terminator passing loop-carried values to the next iteration."""
+
+    name = "scf.yield"
+    traits = frozenset([IsTerminator])
+
+    def __init__(self, values: Sequence[SSAValue] = ()):
+        super().__init__(operands=list(values))
+
+
+__all__ = ["ForOp", "YieldOp"]

@@ -1,0 +1,36 @@
+"""The ``stream`` dialect: typed handles to hardware data streams.
+
+A ``!stream.readable<T>`` value stands for a configured stream semantic
+register that produces one ``T`` per read (paper Figure 6).  The types are
+shared between the target-independent ``memref_stream`` level (element
+types) and the target-specific ``snitch_stream`` level (register types).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.attributes import TypeAttribute
+
+
+@dataclass(frozen=True)
+class ReadableStreamType(TypeAttribute):
+    """A stream that produces elements of ``element_type``."""
+
+    element_type: TypeAttribute
+
+    def __str__(self) -> str:
+        return f"!stream.readable<{self.element_type}>"
+
+
+@dataclass(frozen=True)
+class WritableStreamType(TypeAttribute):
+    """A stream that consumes elements of ``element_type``."""
+
+    element_type: TypeAttribute
+
+    def __str__(self) -> str:
+        return f"!stream.writable<{self.element_type}>"
+
+
+__all__ = ["ReadableStreamType", "WritableStreamType"]

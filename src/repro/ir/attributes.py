@@ -1,0 +1,283 @@
+"""Attributes and types for the SSA IR.
+
+Attributes are immutable compile-time values attached to operations, and
+types are attributes that classify SSA values.  This mirrors the MLIR design
+the paper builds on: "attributes, a key-value map of compile-time constants"
+(Section 2.1).  All attributes are hashable value objects so they can be
+freely shared, compared and used as dictionary keys by rewrites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """Base class of every compile-time constant in the IR."""
+
+    def __str__(self) -> str:  # pragma: no cover - overridden widely
+        return repr(self)
+
+
+@dataclass(frozen=True)
+class TypeAttribute(Attribute):
+    """Base class of attributes that may classify SSA values."""
+
+
+# ---------------------------------------------------------------------------
+# Scalar types
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IntegerType(TypeAttribute):
+    """Fixed-width two's-complement integer type (e.g. ``i32``)."""
+
+    width: int
+
+    def __str__(self) -> str:
+        return f"i{self.width}"
+
+
+@dataclass(frozen=True)
+class IndexType(TypeAttribute):
+    """Target-width integer used for indexing and loop bounds."""
+
+    def __str__(self) -> str:
+        return "index"
+
+
+@dataclass(frozen=True)
+class FloatType(TypeAttribute):
+    """IEEE-754 binary floating-point type of a given width."""
+
+    width: int
+
+    def __str__(self) -> str:
+        return f"f{self.width}"
+
+    @property
+    def byte_width(self) -> int:
+        """Size of one element of this type in bytes."""
+        return self.width // 8
+
+
+#: Canonical instances, shared across the code base.
+i1 = IntegerType(1)
+i32 = IntegerType(32)
+i64 = IntegerType(64)
+index = IndexType()
+f32 = FloatType(32)
+f64 = FloatType(64)
+
+
+# ---------------------------------------------------------------------------
+# Data attributes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IntAttr(Attribute):
+    """A plain integer constant (used for widths, bounds, factors...)."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class BoolAttr(Attribute):
+    """A boolean constant."""
+
+    value: bool
+
+    def __str__(self) -> str:
+        return "true" if self.value else "false"
+
+
+@dataclass(frozen=True)
+class FloatAttr(Attribute):
+    """A floating-point constant together with its type."""
+
+    value: float
+    type: FloatType = f64
+
+    def __str__(self) -> str:
+        return f"{self.value!r} : {self.type}"
+
+
+@dataclass(frozen=True)
+class StringAttr(Attribute):
+    """A string constant."""
+
+    value: str
+
+    def __str__(self) -> str:
+        return f'"{self.value}"'
+
+
+@dataclass(frozen=True)
+class ArrayAttr(Attribute):
+    """An ordered, immutable sequence of attributes."""
+
+    elements: tuple[Attribute, ...]
+
+    def __init__(self, elements: Sequence[Attribute]):
+        object.__setattr__(self, "elements", tuple(elements))
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self.elements)
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    def __getitem__(self, i: int) -> Attribute:
+        return self.elements[i]
+
+    def __str__(self) -> str:
+        return "[" + ", ".join(str(e) for e in self.elements) + "]"
+
+
+@dataclass(frozen=True)
+class DenseIntAttr(Attribute):
+    """An immutable sequence of integers (bounds, strides, shapes...)."""
+
+    values: tuple[int, ...]
+
+    def __init__(self, values: Sequence[int]):
+        object.__setattr__(self, "values", tuple(int(v) for v in values))
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __getitem__(self, i: int) -> int:
+        return self.values[i]
+
+    def __str__(self) -> str:
+        return "[" + ", ".join(str(v) for v in self.values) + "]"
+
+
+@dataclass(frozen=True)
+class SymbolRefAttr(Attribute):
+    """A reference to a symbol (e.g. a function name)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"@{self.name}"
+
+
+# ---------------------------------------------------------------------------
+# Shaped types
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MemRefType(TypeAttribute):
+    """A reference to a shaped buffer in memory.
+
+    Layout is always row-major (the only layout the Snitch micro-kernels in
+    the paper use); strides are derived from the shape.
+    """
+
+    element_type: TypeAttribute
+    shape: tuple[int, ...]
+
+    def __init__(self, element_type: TypeAttribute, shape: Sequence[int]):
+        object.__setattr__(self, "element_type", element_type)
+        object.__setattr__(self, "shape", tuple(int(s) for s in shape))
+
+    @property
+    def rank(self) -> int:
+        """Number of dimensions."""
+        return len(self.shape)
+
+    @property
+    def element_count(self) -> int:
+        """Total number of elements in the buffer."""
+        n = 1
+        for s in self.shape:
+            n *= s
+        return n
+
+    @property
+    def element_byte_width(self) -> int:
+        """Size in bytes of one element."""
+        if isinstance(self.element_type, FloatType):
+            return self.element_type.width // 8
+        if isinstance(self.element_type, IntegerType):
+            return max(1, self.element_type.width // 8)
+        raise ValueError(f"unsized element type {self.element_type}")
+
+    @property
+    def byte_size(self) -> int:
+        """Total size of the buffer in bytes."""
+        return self.element_count * self.element_byte_width
+
+    def strides(self) -> tuple[int, ...]:
+        """Row-major strides, in elements."""
+        strides = [1] * self.rank
+        for i in range(self.rank - 2, -1, -1):
+            strides[i] = strides[i + 1] * self.shape[i + 1]
+        return tuple(strides)
+
+    def byte_strides(self) -> tuple[int, ...]:
+        """Row-major strides, in bytes."""
+        w = self.element_byte_width
+        return tuple(s * w for s in self.strides())
+
+    def __str__(self) -> str:
+        dims = "x".join(str(s) for s in self.shape)
+        sep = "x" if dims else ""
+        return f"memref<{dims}{sep}{self.element_type}>"
+
+
+@dataclass(frozen=True)
+class FunctionType(TypeAttribute):
+    """The type of a function: inputs and results."""
+
+    inputs: tuple[TypeAttribute, ...]
+    results: tuple[TypeAttribute, ...]
+
+    def __init__(
+        self,
+        inputs: Sequence[TypeAttribute],
+        results: Sequence[TypeAttribute],
+    ):
+        object.__setattr__(self, "inputs", tuple(inputs))
+        object.__setattr__(self, "results", tuple(results))
+
+    def __str__(self) -> str:
+        ins = ", ".join(str(t) for t in self.inputs)
+        outs = ", ".join(str(t) for t in self.results)
+        return f"({ins}) -> ({outs})"
+
+
+__all__ = [
+    "Attribute",
+    "TypeAttribute",
+    "IntegerType",
+    "IndexType",
+    "FloatType",
+    "IntAttr",
+    "BoolAttr",
+    "FloatAttr",
+    "StringAttr",
+    "ArrayAttr",
+    "DenseIntAttr",
+    "SymbolRefAttr",
+    "MemRefType",
+    "FunctionType",
+    "i1",
+    "i32",
+    "i64",
+    "index",
+    "f32",
+    "f64",
+]

@@ -1,0 +1,95 @@
+"""IR construction helper.
+
+A :class:`Builder` tracks an insertion point inside a block and appends
+operations there, mirroring MLIR's ``OpBuilder``.  All kernel builders and
+lowering passes construct IR through it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, TypeVar
+
+from .core import Block, IRError, Operation, Region
+
+OpT = TypeVar("OpT", bound=Operation)
+
+
+class InsertPoint:
+    """A position inside a block where new operations are inserted."""
+
+    __slots__ = ("block", "index")
+
+    def __init__(self, block: Block, index: int):
+        self.block = block
+        self.index = index
+
+    @staticmethod
+    def at_end(block: Block) -> "InsertPoint":
+        """Insertion point after the last operation of ``block``."""
+        return InsertPoint(block, len(block.ops))
+
+    @staticmethod
+    def at_start(block: Block) -> "InsertPoint":
+        """Insertion point before the first operation of ``block``."""
+        return InsertPoint(block, 0)
+
+    @staticmethod
+    def before(op: Operation) -> "InsertPoint":
+        """Insertion point immediately before ``op``."""
+        if op.parent is None:
+            raise IRError("operation is not attached to a block")
+        return InsertPoint(op.parent, op.parent.index_of(op))
+
+    @staticmethod
+    def after(op: Operation) -> "InsertPoint":
+        """Insertion point immediately after ``op``."""
+        if op.parent is None:
+            raise IRError("operation is not attached to a block")
+        return InsertPoint(op.parent, op.parent.index_of(op) + 1)
+
+
+class Builder:
+    """Appends operations at a movable insertion point."""
+
+    def __init__(self, insert_point: InsertPoint):
+        self.insert_point = insert_point
+
+    # -- constructors --------------------------------------------------------
+
+    @staticmethod
+    def at_end(block: Block) -> "Builder":
+        """A builder appending at the end of ``block``."""
+        return Builder(InsertPoint.at_end(block))
+
+    @staticmethod
+    def at_start(block: Block) -> "Builder":
+        """A builder inserting at the start of ``block``."""
+        return Builder(InsertPoint.at_start(block))
+
+    @staticmethod
+    def before(op: Operation) -> "Builder":
+        """A builder inserting before ``op``."""
+        return Builder(InsertPoint.before(op))
+
+    # -- insertion -------------------------------------------------------------
+
+    def insert(self, op: OpT) -> OpT:
+        """Insert ``op`` at the current point and advance past it."""
+        self.insert_point.block.insert_op(self.insert_point.index, op)
+        self.insert_point.index += 1
+        return op
+
+    def insert_all(self, ops: Sequence[Operation]) -> None:
+        """Insert several operations in order."""
+        for op in ops:
+            self.insert(op)
+
+    # -- region helpers ----------------------------------------------------------
+
+    def new_block_region(self, arg_types=()) -> tuple[Region, Block]:
+        """Create a fresh single-block region (not yet attached)."""
+        block = Block(arg_types)
+        return Region([block]), block
+
+
+__all__ = ["Builder", "InsertPoint"]

@@ -1,0 +1,444 @@
+"""Core SSA-with-regions IR data structures.
+
+This is the structural heart of the reproduction: operations with operands,
+results, attributes and nested regions; regions with blocks; blocks with
+arguments and a doubly-linked list of operations.  The design follows MLIR
+(paper Section 2.1 and Table 4): instructions are *operations*, instruction
+operands are *SSA values*, registers are encoded in *types*, and scoping is
+expressed with *blocks and regions*.
+
+Use-def chains are maintained eagerly so the register allocator can perform
+its backwards walk (Section 3.3) and so rewrites can do RAUW safely.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Sequence, TypeVar
+
+from .attributes import Attribute, TypeAttribute
+
+OpT = TypeVar("OpT", bound="Operation")
+
+
+class IRError(Exception):
+    """Raised on malformed IR (verification failures, bad mutations)."""
+
+
+# ---------------------------------------------------------------------------
+# SSA values
+# ---------------------------------------------------------------------------
+
+
+class Use:
+    """One use of an SSA value: ``operation.operands[index]``."""
+
+    __slots__ = ("operation", "index")
+
+    def __init__(self, operation: "Operation", index: int):
+        self.operation = operation
+        self.index = index
+
+    def __repr__(self) -> str:
+        return f"Use({self.operation.name}, {self.index})"
+
+
+class SSAValue:
+    """A value in SSA form: defined once, used many times.
+
+    ``type`` is the value's type attribute and ``uses`` the live use list.
+    """
+
+    __slots__ = ("type", "uses", "name_hint")
+
+    def __init__(self, type: TypeAttribute, name_hint: str | None = None):
+        self.type = type
+        self.uses: list[Use] = []
+        self.name_hint = name_hint
+
+    # -- use management -----------------------------------------------------
+
+    def add_use(self, use: Use) -> None:
+        """Record a new use of this value."""
+        self.uses.append(use)
+
+    def remove_use(self, operation: "Operation", index: int) -> None:
+        """Drop the use at ``operation.operands[index]``."""
+        for i, use in enumerate(self.uses):
+            if use.operation is operation and use.index == index:
+                del self.uses[i]
+                return
+        raise IRError(f"use not found on {self}")
+
+    def replace_all_uses_with(self, other: "SSAValue") -> None:
+        """Redirect every use of this value to ``other`` (RAUW)."""
+        if other is self:
+            return
+        for use in list(self.uses):
+            use.operation.set_operand(use.index, other)
+
+    @property
+    def has_uses(self) -> bool:
+        """Whether any operation still refers to this value."""
+        return bool(self.uses)
+
+    @property
+    def users(self) -> list["Operation"]:
+        """Operations using this value (with duplicates for multi-use)."""
+        return [use.operation for use in self.uses]
+
+    @property
+    def owner(self) -> "Operation | Block":
+        """The operation or block defining this value."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        hint = self.name_hint or "?"
+        return f"<{type(self).__name__} %{hint}: {self.type}>"
+
+
+class OpResult(SSAValue):
+    """A value produced by an operation."""
+
+    __slots__ = ("op", "index")
+
+    def __init__(
+        self,
+        type: TypeAttribute,
+        op: "Operation",
+        index: int,
+        name_hint: str | None = None,
+    ):
+        super().__init__(type, name_hint)
+        self.op = op
+        self.index = index
+
+    @property
+    def owner(self) -> "Operation":
+        return self.op
+
+
+class BlockArgument(SSAValue):
+    """A value bound on entry to a block (e.g. a loop induction variable)."""
+
+    __slots__ = ("block", "index")
+
+    def __init__(
+        self,
+        type: TypeAttribute,
+        block: "Block",
+        index: int,
+        name_hint: str | None = None,
+    ):
+        super().__init__(type, name_hint)
+        self.block = block
+        self.index = index
+
+    @property
+    def owner(self) -> "Block":
+        return self.block
+
+
+# ---------------------------------------------------------------------------
+# Operations
+# ---------------------------------------------------------------------------
+
+
+class Operation:
+    """A single IR operation.
+
+    Subclasses set the class attribute ``name`` (e.g. ``"arith.addf"``) and
+    ``traits`` and usually provide a typed ``__init__`` plus properties for
+    named operand/result access.  Storage is fully generic, so passes can
+    treat all operations uniformly.
+    """
+
+    name = "builtin.unregistered"
+    #: Set of trait classes (see :mod:`repro.ir.traits`).
+    traits: frozenset = frozenset()
+
+    __slots__ = ("_operands", "results", "attributes", "regions", "parent")
+
+    def __init__(
+        self,
+        operands: Sequence[SSAValue] = (),
+        result_types: Sequence[TypeAttribute] = (),
+        attributes: dict[str, Attribute] | None = None,
+        regions: Sequence["Region"] = (),
+    ):
+        self._operands: list[SSAValue] = []
+        self.results: list[OpResult] = [
+            OpResult(t, self, i) for i, t in enumerate(result_types)
+        ]
+        self.attributes: dict[str, Attribute] = dict(attributes or {})
+        self.regions: list[Region] = []
+        self.parent: Block | None = None
+        for value in operands:
+            self.add_operand(value)
+        for region in regions:
+            self.add_region(region)
+
+    # -- operand management --------------------------------------------------
+
+    @property
+    def operands(self) -> tuple[SSAValue, ...]:
+        """The operation's operands, as an immutable view."""
+        return tuple(self._operands)
+
+    def add_operand(self, value: SSAValue) -> None:
+        """Append ``value`` to the operand list, recording the use."""
+        if not isinstance(value, SSAValue):
+            raise IRError(
+                f"operand of {self.name} must be an SSAValue, got "
+                f"{type(value).__name__}"
+            )
+        index = len(self._operands)
+        self._operands.append(value)
+        value.add_use(Use(self, index))
+
+    def set_operand(self, index: int, value: SSAValue) -> None:
+        """Replace the operand at ``index`` with ``value``."""
+        old = self._operands[index]
+        old.remove_use(self, index)
+        self._operands[index] = value
+        value.add_use(Use(self, index))
+
+    def drop_all_references(self) -> None:
+        """Detach this op (and nested ops) from all used values."""
+        for index, value in enumerate(self._operands):
+            value.remove_use(self, index)
+        self._operands.clear()
+        for region in self.regions:
+            for block in region.blocks:
+                for op in list(block.ops):
+                    op.drop_all_references()
+
+    # -- region management ----------------------------------------------------
+
+    def add_region(self, region: "Region") -> None:
+        """Attach ``region`` as the last region of this operation."""
+        if region.parent is not None:
+            raise IRError("region already attached to an operation")
+        region.parent = self
+        self.regions.append(region)
+
+    @property
+    def body(self) -> "Region":
+        """The single region of this op; errors if there is not exactly one."""
+        if len(self.regions) != 1:
+            raise IRError(f"{self.name} has {len(self.regions)} regions")
+        return self.regions[0]
+
+    # -- navigation ------------------------------------------------------------
+
+    @property
+    def parent_block(self) -> "Block | None":
+        """The block containing this operation, if attached."""
+        return self.parent
+
+    @property
+    def parent_op(self) -> "Operation | None":
+        """The operation whose region contains this operation."""
+        if self.parent is None or self.parent.parent is None:
+            return None
+        return self.parent.parent.parent
+
+    def parent_of_type(self, kind: type[OpT]) -> OpT | None:
+        """The closest ancestor operation of the given type, if any."""
+        op = self.parent_op
+        while op is not None:
+            if isinstance(op, kind):
+                return op
+            op = op.parent_op
+        return None
+
+    def is_ancestor_of(self, other: "Operation") -> bool:
+        """Whether ``other`` is nested (transitively) inside this op."""
+        op = other.parent_op
+        while op is not None:
+            if op is self:
+                return True
+            op = op.parent_op
+        return False
+
+    def walk(self) -> Iterator["Operation"]:
+        """Pre-order traversal of this op and all nested operations."""
+        yield self
+        for region in self.regions:
+            for block in region.blocks:
+                for op in list(block.ops):
+                    yield from op.walk()
+
+    def walk_type(self, kind: type[OpT]) -> Iterator[OpT]:
+        """Walk, filtered to operations of the given type."""
+        for op in self.walk():
+            if isinstance(op, kind):
+                yield op
+
+    # -- traits -----------------------------------------------------------------
+
+    def has_trait(self, trait: type) -> bool:
+        """Whether the operation carries the given trait."""
+        return trait in type(self).traits
+
+    # -- mutation -----------------------------------------------------------------
+
+    def detach(self) -> None:
+        """Remove this operation from its parent block (keeping uses)."""
+        if self.parent is None:
+            return
+        self.parent._ops.remove(self)
+        self.parent = None
+
+    def erase(self) -> None:
+        """Remove and destroy this operation.
+
+        All results must be unused; nested operations are erased too.
+        """
+        for result in self.results:
+            if result.has_uses:
+                raise IRError(
+                    f"cannot erase {self.name}: result still has uses"
+                )
+        self.detach()
+        self.drop_all_references()
+
+    def verify_(self) -> None:
+        """Op-specific verification hook; subclasses override."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class Block:
+    """A straight-line sequence of operations with block arguments."""
+
+    __slots__ = ("args", "_ops", "parent")
+
+    def __init__(self, arg_types: Sequence[TypeAttribute] = ()):
+        self.args: list[BlockArgument] = [
+            BlockArgument(t, self, i) for i, t in enumerate(arg_types)
+        ]
+        self._ops: list[Operation] = []
+        self.parent: Region | None = None
+
+    # -- op list management ---------------------------------------------------
+
+    @property
+    def ops(self) -> tuple[Operation, ...]:
+        """The operations of the block, as an immutable view."""
+        return tuple(self._ops)
+
+    @property
+    def first_op(self) -> Operation | None:
+        """First operation, or ``None`` if the block is empty."""
+        return self._ops[0] if self._ops else None
+
+    @property
+    def last_op(self) -> Operation | None:
+        """Last operation, or ``None`` if the block is empty."""
+        return self._ops[-1] if self._ops else None
+
+    def add_op(self, op: Operation) -> None:
+        """Append ``op`` at the end of the block."""
+        self.insert_op(len(self._ops), op)
+
+    def add_ops(self, ops: Iterable[Operation]) -> None:
+        """Append several operations at the end of the block."""
+        for op in ops:
+            self.add_op(op)
+
+    def insert_op(self, index: int, op: Operation) -> None:
+        """Insert ``op`` at position ``index``."""
+        if op.parent is not None:
+            raise IRError("operation already attached to a block")
+        self._ops.insert(index, op)
+        op.parent = self
+
+    def insert_op_before(self, op: Operation, before: Operation) -> None:
+        """Insert ``op`` immediately before ``before`` (must be in block)."""
+        self.insert_op(self.index_of(before), op)
+
+    def insert_op_after(self, op: Operation, after: Operation) -> None:
+        """Insert ``op`` immediately after ``after`` (must be in block)."""
+        self.insert_op(self.index_of(after) + 1, op)
+
+    def index_of(self, op: Operation) -> int:
+        """Position of ``op`` in this block."""
+        for i, existing in enumerate(self._ops):
+            if existing is op:
+                return i
+        raise IRError("operation not in block")
+
+    # -- argument management ----------------------------------------------------
+
+    def add_arg(
+        self, type: TypeAttribute, name_hint: str | None = None
+    ) -> BlockArgument:
+        """Append a new block argument of the given type."""
+        arg = BlockArgument(type, self, len(self.args), name_hint)
+        self.args.append(arg)
+        return arg
+
+    # -- navigation ----------------------------------------------------------------
+
+    @property
+    def parent_op(self) -> Operation | None:
+        """The operation owning the region that contains this block."""
+        return self.parent.parent if self.parent is not None else None
+
+    def __repr__(self) -> str:
+        return f"<Block with {len(self._ops)} ops>"
+
+
+class Region:
+    """A list of blocks owned by an operation."""
+
+    __slots__ = ("blocks", "parent")
+
+    def __init__(self, blocks: Sequence[Block] = ()):
+        self.blocks: list[Block] = []
+        self.parent: Operation | None = None
+        for block in blocks:
+            self.add_block(block)
+
+    @property
+    def block(self) -> Block:
+        """The single block of the region; errors otherwise."""
+        if len(self.blocks) != 1:
+            raise IRError(f"region has {len(self.blocks)} blocks")
+        return self.blocks[0]
+
+    @property
+    def first_block(self) -> Block | None:
+        """The entry block, or ``None`` for an empty region."""
+        return self.blocks[0] if self.blocks else None
+
+    def add_block(self, block: Block) -> None:
+        """Append ``block`` to the region."""
+        if block.parent is not None:
+            raise IRError("block already attached to a region")
+        block.parent = self
+        self.blocks.append(block)
+
+    def __repr__(self) -> str:
+        return f"<Region with {len(self.blocks)} blocks>"
+
+
+def single_block_region(ops: Sequence[Operation], arg_types=()) -> Region:
+    """Convenience: a region holding one block with the given ops."""
+    block = Block(arg_types)
+    block.add_ops(ops)
+    return Region([block])
+
+
+__all__ = [
+    "IRError",
+    "Use",
+    "SSAValue",
+    "OpResult",
+    "BlockArgument",
+    "Operation",
+    "Block",
+    "Region",
+    "single_block_region",
+]

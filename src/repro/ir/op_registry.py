@@ -1,0 +1,80 @@
+"""Registry mapping operation names to their Python classes.
+
+The textual parser needs to reconstruct typed operation objects (so
+verification hooks and accessors work on parsed IR).  Registration is
+explicit-but-automated: :func:`populate` imports every dialect module
+and records each concrete :class:`~repro.ir.core.Operation` subclass
+under its ``name``.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+from .core import Operation
+
+_REGISTRY: dict[str, type[Operation]] = {}
+
+
+def register(op_class: type[Operation]) -> None:
+    """Register one operation class under its ``name``."""
+    name = op_class.name
+    existing = _REGISTRY.get(name)
+    if existing is not None and existing is not op_class:
+        raise ValueError(
+            f"duplicate op name {name!r}: {existing} vs {op_class}"
+        )
+    _REGISTRY[name] = op_class
+
+
+def _register_module(module) -> None:
+    for _, value in inspect.getmembers(module, inspect.isclass):
+        if (
+            issubclass(value, Operation)
+            and value is not Operation
+            and value.name != Operation.name  # abstract helper classes
+        ):
+            register(value)
+
+
+def populate() -> None:
+    """Import all dialects and fill the registry (idempotent)."""
+    from ..dialects import (  # noqa: F401  (imported for registration)
+        arith,
+        builtin,
+        func,
+        linalg,
+        memref,
+        memref_stream,
+        riscv,
+        riscv_cf,
+        riscv_func,
+        riscv_scf,
+        riscv_snitch,
+        scf,
+        snitch_stream,
+    )
+
+    for module in (
+        arith, builtin, func, linalg, memref, memref_stream,
+        riscv, riscv_cf, riscv_func, riscv_scf, riscv_snitch, scf,
+        snitch_stream,
+    ):
+        _register_module(module)
+
+
+def lookup(name: str) -> type[Operation]:
+    """The class registered for ``name`` (Operation if unknown)."""
+    if not _REGISTRY:
+        populate()
+    return _REGISTRY.get(name, Operation)
+
+
+def registered_names() -> list[str]:
+    """All registered operation names."""
+    if not _REGISTRY:
+        populate()
+    return sorted(_REGISTRY)
+
+
+__all__ = ["register", "populate", "lookup", "registered_names"]

@@ -1,0 +1,98 @@
+"""Module passes and the pass manager.
+
+The multi-level backend is "structured as small, self-contained passes,
+making it easier to introspect, develop and maintain" (paper Section 3.4).
+A :class:`ModulePass` transforms a module in place; a :class:`PassManager`
+runs a named sequence and can record IR snapshots between stages (used by
+the progressive-lowering example and the ablation benchmarks).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from .core import Operation
+from .printer import print_op
+from .verifier import verify
+
+
+class ModulePass:
+    """Base class of all passes; subclasses set ``name`` and ``run``."""
+
+    #: Identifier used in pipeline specifications.
+    name = "unnamed-pass"
+
+    def run(self, module: Operation) -> None:
+        """Transform ``module`` in place."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<pass {self.name}>"
+
+
+class FunctionPass(ModulePass):
+    """A pass applied independently to each function-like op.
+
+    Subclasses implement :meth:`run_on_function`; functions are discovered
+    by walking for ops whose name ends in ``.func``.
+    """
+
+    def run(self, module: Operation) -> None:
+        for op in list(module.walk()):
+            if op.name.endswith(".func"):
+                self.run_on_function(op)
+
+    def run_on_function(self, func: Operation) -> None:
+        """Transform one function in place."""
+        raise NotImplementedError
+
+
+class PassManager:
+    """Runs a sequence of passes, optionally verifying/snapshotting."""
+
+    def __init__(
+        self,
+        passes: Sequence[ModulePass] = (),
+        verify_each: bool = True,
+        snapshot: bool = False,
+    ):
+        self.passes: list[ModulePass] = list(passes)
+        self.verify_each = verify_each
+        self.snapshot = snapshot
+        #: (pass name, IR text) pairs recorded when ``snapshot`` is set.
+        self.snapshots: list[tuple[str, str]] = []
+
+    def add(self, pass_: ModulePass) -> "PassManager":
+        """Append a pass; returns self for chaining."""
+        self.passes.append(pass_)
+        return self
+
+    def run(self, module: Operation) -> None:
+        """Run every pass in order on ``module``."""
+        if self.snapshot:
+            self.snapshots.append(("input", print_op(module)))
+        for pass_ in self.passes:
+            pass_.run(module)
+            if self.verify_each:
+                verify(module)
+            if self.snapshot:
+                self.snapshots.append((pass_.name, print_op(module)))
+
+    @property
+    def pipeline_spec(self) -> str:
+        """Comma-separated names of the scheduled passes."""
+        return ",".join(p.name for p in self.passes)
+
+
+class LambdaPass(ModulePass):
+    """Wrap a plain callable as a pass (handy in tests)."""
+
+    def __init__(self, name: str, fn: Callable[[Operation], None]):
+        self.name = name
+        self._fn = fn
+
+    def run(self, module: Operation) -> None:
+        self._fn(module)
+
+
+__all__ = ["ModulePass", "FunctionPass", "PassManager", "LambdaPass"]

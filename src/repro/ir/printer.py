@@ -1,0 +1,131 @@
+"""Textual IR printing.
+
+Prints operations in an MLIR-like generic syntax so tests, examples and the
+progressive-lowering demos can show the IR between pipeline stages:
+
+    %2 = "arith.addf"(%0, %1) : (f64, f64) -> f64
+
+Value names are stable within one print: name hints are honoured and
+deduplicated, everything else is numbered.
+"""
+
+from __future__ import annotations
+
+import io
+
+from .attributes import Attribute
+from .core import Block, BlockArgument, Operation, Region, SSAValue
+
+
+class Printer:
+    """Stateful printer assigning names to SSA values on the fly."""
+
+    def __init__(self):
+        self._names: dict[int, str] = {}
+        self._used_names: set[str] = set()
+        self._counter = 0
+        self._out = io.StringIO()
+        self._indent = 0
+
+    # -- value naming ----------------------------------------------------------
+
+    def name_of(self, value: SSAValue) -> str:
+        """The printed name of ``value`` (allocating one if needed)."""
+        key = id(value)
+        if key in self._names:
+            return self._names[key]
+        if value.name_hint and value.name_hint not in self._used_names:
+            name = value.name_hint
+        else:
+            name = str(self._counter)
+            self._counter += 1
+        self._names[key] = name
+        self._used_names.add(name)
+        return name
+
+    # -- emission -----------------------------------------------------------------
+
+    def _write(self, text: str) -> None:
+        self._out.write(text)
+
+    def _newline(self) -> None:
+        self._out.write("\n" + "  " * self._indent)
+
+    def print_operation(self, op: Operation) -> None:
+        """Print one operation (with nested regions) at current indent."""
+        if op.results:
+            names = ", ".join(f"%{self.name_of(r)}" for r in op.results)
+            self._write(f"{names} = ")
+        self._write(f'"{op.name}"')
+        self._write("(")
+        self._write(
+            ", ".join(f"%{self.name_of(v)}" for v in op.operands)
+        )
+        self._write(")")
+        if op.regions:
+            self._write(" (")
+            for i, region in enumerate(op.regions):
+                if i:
+                    self._write(", ")
+                self.print_region(region)
+            self._write(")")
+        if op.attributes:
+            pairs = ", ".join(
+                f"{k} = {self.attr_str(v)}"
+                for k, v in sorted(op.attributes.items())
+            )
+            self._write(" {" + pairs + "}")
+        in_types = ", ".join(str(v.type) for v in op.operands)
+        out_types = ", ".join(str(r.type) for r in op.results)
+        self._write(f" : ({in_types}) -> ({out_types})")
+
+    def print_region(self, region: Region) -> None:
+        """Print a region in braces, one block per label."""
+        self._write("{")
+        self._indent += 1
+        for i, block in enumerate(region.blocks):
+            self.print_block(block, i)
+        self._indent -= 1
+        self._newline()
+        self._write("}")
+
+    def print_block(self, block: Block, index: int) -> None:
+        """Print a block label (with arguments) and its operations."""
+        self._newline()
+        args = ", ".join(
+            f"%{self.name_of(a)} : {a.type}" for a in block.args
+        )
+        self._write(f"^{index}({args}):")
+        self._indent += 1
+        for op in block.ops:
+            self._newline()
+            self.print_operation(op)
+        self._indent -= 1
+
+    @staticmethod
+    def attr_str(attr: Attribute) -> str:
+        """The textual form of an attribute."""
+        return str(attr)
+
+    def result(self) -> str:
+        """The accumulated text."""
+        return self._out.getvalue()
+
+
+def print_op(op: Operation) -> str:
+    """Render ``op`` (and everything nested in it) to text."""
+    printer = Printer()
+    printer.print_operation(op)
+    return printer.result() + "\n"
+
+
+def value_name(value: SSAValue) -> str:
+    """A short debugging name for a value outside a full print."""
+    if value.name_hint:
+        return f"%{value.name_hint}"
+    if isinstance(value, BlockArgument):
+        return f"%arg{value.index}"
+    return "%?"
+
+
+__all__ = ["Printer", "print_op", "value_name"]

@@ -1,0 +1,199 @@
+"""Pattern rewriting infrastructure.
+
+The paper's lowerings are "structured as small, self-contained passes"
+(Section 3.4) built from peephole rewrites ("simple peephole rewrites for
+custom optimizations", Section 3.2).  This module provides the machinery:
+:class:`RewritePattern` subclasses match one operation and mutate the IR
+through a :class:`PatternRewriter`; :func:`apply_patterns` drives them to a
+fixpoint over a module.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .core import Block, IRError, Operation, Region, SSAValue
+
+
+class PatternRewriter:
+    """Mutation interface handed to patterns.
+
+    Tracks whether anything changed so the driver knows when the fixpoint
+    is reached.
+    """
+
+    def __init__(self, current_op: Operation):
+        self.current_op = current_op
+        self.changed = False
+
+    # -- insertion -------------------------------------------------------------
+
+    def insert_before(
+        self, ops: "Operation | Sequence[Operation]", anchor: Operation | None = None
+    ) -> None:
+        """Insert op(s) right before ``anchor`` (default: the matched op)."""
+        anchor = anchor or self.current_op
+        block = anchor.parent
+        if block is None:
+            raise IRError("anchor not attached to a block")
+        for op in _as_ops(ops):
+            block.insert_op_before(op, anchor)
+        self.changed = True
+
+    def insert_after(
+        self, ops: "Operation | Sequence[Operation]", anchor: Operation | None = None
+    ) -> None:
+        """Insert op(s) right after ``anchor`` (default: the matched op)."""
+        anchor = anchor or self.current_op
+        block = anchor.parent
+        if block is None:
+            raise IRError("anchor not attached to a block")
+        for op in reversed(_as_ops(ops)):
+            block.insert_op_after(op, anchor)
+        self.changed = True
+
+    def insert_at_start(self, block: Block, ops) -> None:
+        """Insert op(s) at the beginning of ``block``."""
+        for op in reversed(_as_ops(ops)):
+            block.insert_op(0, op)
+        self.changed = True
+
+    # -- replacement --------------------------------------------------------------
+
+    def replace_op(
+        self,
+        op: Operation,
+        new_ops: "Operation | Sequence[Operation]",
+        new_results: Sequence[SSAValue] | None = None,
+    ) -> None:
+        """Replace ``op`` with ``new_ops``.
+
+        ``new_results`` provides the replacement for each old result; when
+        omitted the results of the last new op are used.
+        """
+        ops = _as_ops(new_ops)
+        block = op.parent
+        if block is None:
+            raise IRError("cannot replace a detached operation")
+        index = block.index_of(op)
+        for offset, new_op in enumerate(ops):
+            block.insert_op(index + offset, new_op)
+        if new_results is None:
+            new_results = list(ops[-1].results) if ops else []
+        if len(new_results) != len(op.results):
+            raise IRError(
+                f"replacing {op.name}: expected {len(op.results)} results, "
+                f"got {len(new_results)}"
+            )
+        for old, new in zip(op.results, new_results):
+            old.replace_all_uses_with(new)
+        op.erase()
+        self.changed = True
+
+    def replace_matched_op(self, new_ops, new_results=None) -> None:
+        """Replace the op the pattern matched."""
+        self.replace_op(self.current_op, new_ops, new_results)
+
+    def erase_op(self, op: Operation) -> None:
+        """Erase ``op`` (results must be unused)."""
+        op.erase()
+        self.changed = True
+
+    def erase_matched_op(self) -> None:
+        """Erase the op the pattern matched."""
+        self.erase_op(self.current_op)
+
+    # -- block surgery ---------------------------------------------------------------
+
+    def inline_block_before(
+        self,
+        block: Block,
+        anchor: Operation,
+        arg_values: Sequence[SSAValue],
+    ) -> None:
+        """Splice all ops of ``block`` before ``anchor``.
+
+        Block arguments are replaced with ``arg_values``.
+        """
+        if len(arg_values) != len(block.args):
+            raise IRError(
+                f"inlining block with {len(block.args)} args but "
+                f"{len(arg_values)} values were supplied"
+            )
+        for arg, value in zip(block.args, arg_values):
+            arg.replace_all_uses_with(value)
+        for op in list(block.ops):
+            op.detach()
+            anchor.parent.insert_op_before(op, anchor)
+        self.changed = True
+
+
+def _as_ops(ops) -> list[Operation]:
+    if isinstance(ops, Operation):
+        return [ops]
+    return list(ops)
+
+
+class RewritePattern:
+    """One rewrite rule; subclasses implement :meth:`match_and_rewrite`."""
+
+    def match_and_rewrite(
+        self, op: Operation, rewriter: PatternRewriter
+    ) -> None:
+        """Attempt to rewrite ``op``; mutate through ``rewriter`` on match."""
+        raise NotImplementedError
+
+
+class TypedPattern(RewritePattern):
+    """A pattern that fires only on a specific operation class."""
+
+    #: Operation class this pattern applies to.
+    op_type: type[Operation] = Operation
+
+    def match_and_rewrite(self, op, rewriter) -> None:
+        if isinstance(op, self.op_type):
+            self.rewrite(op, rewriter)
+
+    def rewrite(self, op, rewriter: PatternRewriter) -> None:
+        """Type-narrowed rewrite hook."""
+        raise NotImplementedError
+
+
+def apply_patterns(
+    root: Operation,
+    patterns: Iterable[RewritePattern],
+    max_iterations: int = 200,
+) -> bool:
+    """Apply ``patterns`` over all ops under ``root`` until fixpoint.
+
+    Returns whether anything changed.  A deliberately simple worklist: each
+    round re-walks the IR, which is plenty for micro-kernel-sized modules
+    and keeps the driver easy to reason about.
+    """
+    pattern_list = list(patterns)
+    changed_any = False
+    for _ in range(max_iterations):
+        changed_this_round = False
+        for op in list(root.walk()):
+            if op.parent is None and op is not root:
+                continue  # erased by an earlier pattern this round
+            for pattern in pattern_list:
+                rewriter = PatternRewriter(op)
+                pattern.match_and_rewrite(op, rewriter)
+                if rewriter.changed:
+                    changed_this_round = True
+                    changed_any = True
+                    break
+            # A changed op may have been erased; move on to a fresh walk
+            # entry either way.
+        if not changed_this_round:
+            return changed_any
+    raise IRError("pattern application did not converge")
+
+
+__all__ = [
+    "PatternRewriter",
+    "RewritePattern",
+    "TypedPattern",
+    "apply_patterns",
+]

@@ -1,0 +1,48 @@
+"""Operation traits.
+
+Traits declare verifiable structural properties of operations, letting
+generic passes (DCE, the verifier, the register allocator) reason about
+unfamiliar dialects — the extensibility property the multi-level backend
+relies on (paper Section 3.1).
+"""
+
+from __future__ import annotations
+
+
+class OpTrait:
+    """Base class for all traits (used only as a marker namespace)."""
+
+
+class IsTerminator(OpTrait):
+    """The operation ends its block (branch, return, yield)."""
+
+
+class Pure(OpTrait):
+    """No side effects: erasable when all results are unused."""
+
+
+class HasMemoryEffect(OpTrait):
+    """Reads or writes memory; never erased by DCE."""
+
+
+class IsolatedFromAbove(OpTrait):
+    """Region bodies may not reference values defined outside (functions)."""
+
+
+class SameOperandsAndResultType(OpTrait):
+    """All operands and results share one type (verified)."""
+
+
+class ConstantLike(OpTrait):
+    """Materializes a compile-time constant."""
+
+
+__all__ = [
+    "OpTrait",
+    "IsTerminator",
+    "Pure",
+    "HasMemoryEffect",
+    "IsolatedFromAbove",
+    "SameOperandsAndResultType",
+    "ConstantLike",
+]

@@ -1,0 +1,77 @@
+"""Structural IR verification.
+
+Checks the invariants every pass relies on: operands dominate their uses
+within a block, terminators sit last, use-def bookkeeping is consistent,
+and op-specific ``verify_`` hooks pass.  Running the verifier between
+pipeline stages is how the test suite catches mis-lowerings early.
+"""
+
+from __future__ import annotations
+
+from .core import Block, BlockArgument, IRError, Operation, OpResult, Region
+from .traits import IsolatedFromAbove, IsTerminator
+
+
+class VerificationError(IRError):
+    """Raised when the IR violates a structural invariant."""
+
+
+def verify(op: Operation) -> None:
+    """Verify ``op`` and everything nested inside it."""
+    _verify_op(op, enclosing_values=set())
+
+
+def _verify_op(op: Operation, enclosing_values: set[int]) -> None:
+    for index, operand in enumerate(op.operands):
+        if not any(
+            use.operation is op and use.index == index
+            for use in operand.uses
+        ):
+            raise VerificationError(
+                f"{op.name}: operand #{index} missing from use list"
+            )
+    op.verify_()
+
+    visible = set(enclosing_values)
+    if op.has_trait(IsolatedFromAbove):
+        visible = set()
+    for region in op.regions:
+        _verify_region(region, visible)
+
+
+def _verify_region(region: Region, enclosing_values: set[int]) -> None:
+    for block in region.blocks:
+        _verify_block(block, enclosing_values)
+
+
+def _verify_block(block: Block, enclosing_values: set[int]) -> None:
+    defined = set(enclosing_values)
+    for arg in block.args:
+        defined.add(id(arg))
+    ops = block.ops
+    for position, op in enumerate(ops):
+        if op.parent is not block:
+            raise VerificationError(f"{op.name}: wrong parent block")
+        for operand in op.operands:
+            if isinstance(operand, OpResult):
+                if id(operand) not in defined:
+                    raise VerificationError(
+                        f"{op.name}: operand {operand!r} does not dominate "
+                        "its use"
+                    )
+            elif isinstance(operand, BlockArgument):
+                if id(operand) not in defined:
+                    raise VerificationError(
+                        f"{op.name}: block argument {operand!r} not in scope"
+                    )
+        if op.has_trait(IsTerminator) and position != len(ops) - 1:
+            raise VerificationError(
+                f"{op.name}: terminator is not the last op of its block"
+            )
+        nested_visible = set(defined)
+        _verify_op(op, nested_visible)
+        for result in op.results:
+            defined.add(id(result))
+
+
+__all__ = ["VerificationError", "verify"]

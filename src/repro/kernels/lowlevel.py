@@ -1,0 +1,254 @@
+"""Handwritten dialect-level micro-kernels (paper Section 4.2, RQ1).
+
+These kernels are written directly "in a combination of the RISC-V
+dialects and dialects encoding the Snitch ISA extensions, expressed in a
+partially register-allocated form", then compiled with the backend
+passes only (:func:`repro.api.compile_lowlevel`).  The 32-bit variants
+use the Snitch packed-SIMD instructions, processing two f32 lanes per
+64-bit register.
+
+Each builder returns ``(module, spec)`` with the same
+:class:`~repro.kernels.builders.KernelSpec` contract as the linalg
+builders (arrays are numpy ``float32`` where applicable).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dialects import riscv, riscv_func, riscv_scf, riscv_snitch
+from ..dialects.builtin import ModuleOp
+from ..dialects.riscv import FloatRegisterType, IntRegisterType
+from ..dialects.snitch_stream import StreamingRegionOp, StridePattern
+from ..ir.builder import Builder
+from ..ir.core import SSAValue
+from .builders import ArrayArg, KernelSpec, ScalarArg
+
+
+def _frep(builder: Builder, count: int, iter_args=()):
+    """Emit a ``frep_outer`` of ``count`` iterations; returns the op and
+    a builder positioned inside its body."""
+    max_rep = builder.insert(riscv.LiOp(count - 1)).rd
+    frep = riscv_snitch.FrepOuter(max_rep, iter_args)
+    builder.insert(frep)
+    return frep, Builder.at_end(frep.body_block)
+
+
+def _arg_copies(builder: Builder, fn: riscv_func.FuncOp) -> list[SSAValue]:
+    copies = []
+    for arg in fn.args:
+        if isinstance(arg.type, IntRegisterType):
+            copies.append(builder.insert(riscv.MVOp(arg)).rd)
+        else:
+            copies.append(builder.insert(riscv.FMVOp(arg)).rd)
+    return copies
+
+
+def lowlevel_sum_f32(n: int, m: int) -> tuple[ModuleOp, KernelSpec]:
+    """Element-wise f32 sum via ``vfadd.s``: two lanes per instruction."""
+    elements = n * m
+    if elements % 2:
+        raise ValueError("f32 kernels process two elements per register")
+    words = elements // 2
+    fn = riscv_func.FuncOp(
+        "sum32", riscv_func.abi_arg_types(["int", "int", "int"])
+    )
+    builder = Builder.at_end(fn.entry_block)
+    x, y, z = _arg_copies(builder, fn)
+    pattern = StridePattern([words], [8])
+    region = StreamingRegionOp([x, y], [z], [pattern] * 3)
+    builder.insert(region)
+    inner = Builder.at_end(region.body_block)
+    _, frep_builder = _frep(inner, words)
+    x_read = frep_builder.insert(
+        riscv_snitch.ReadOp(region.body_block.args[0])
+    ).result
+    y_read = frep_builder.insert(
+        riscv_snitch.ReadOp(region.body_block.args[1])
+    ).result
+    frep_builder.insert(
+        riscv_snitch.VFAddSOp(
+            x_read, y_read, result_type=FloatRegisterType("ft2")
+        )
+    )
+    frep_builder.insert(riscv_snitch.FrepYieldOp())
+    builder.insert(riscv_func.ReturnOp())
+    spec = KernelSpec(
+        name="sum32",
+        arguments=[
+            ArrayArg((n, m), "in", np.float32),
+            ArrayArg((n, m), "in", np.float32),
+            ArrayArg((n, m), "out", np.float32),
+        ],
+        reference=lambda a, b, _z: [None, None, a + b],
+        flops=elements,
+    )
+    return ModuleOp([fn]), spec
+
+
+def lowlevel_relu_f32(n: int, m: int) -> tuple[ModuleOp, KernelSpec]:
+    """Element-wise f32 ReLU via ``vfmax.s`` against packed zeros."""
+    elements = n * m
+    if elements % 2:
+        raise ValueError("f32 kernels process two elements per register")
+    words = elements // 2
+    fn = riscv_func.FuncOp(
+        "relu32", riscv_func.abi_arg_types(["int", "int"])
+    )
+    builder = Builder.at_end(fn.entry_block)
+    x, z = _arg_copies(builder, fn)
+    zero_int = builder.insert(
+        riscv.GetRegisterOp(IntRegisterType("zero"))
+    ).result
+    packed_zero = builder.insert(riscv.FCvtDWOp(zero_int)).results[0]
+    pattern = StridePattern([words], [8])
+    region = StreamingRegionOp([x], [z], [pattern] * 2)
+    builder.insert(region)
+    inner = Builder.at_end(region.body_block)
+    _, frep_builder = _frep(inner, words)
+    x_read = frep_builder.insert(
+        riscv_snitch.ReadOp(region.body_block.args[0])
+    ).result
+    frep_builder.insert(
+        riscv_snitch.VFMaxSOp(
+            x_read, packed_zero, result_type=FloatRegisterType("ft1")
+        )
+    )
+    frep_builder.insert(riscv_snitch.FrepYieldOp())
+    builder.insert(riscv_func.ReturnOp())
+    spec = KernelSpec(
+        name="relu32",
+        arguments=[
+            ArrayArg((n, m), "in", np.float32),
+            ArrayArg((n, m), "out", np.float32),
+        ],
+        reference=lambda a, _z: [None, np.maximum(a, np.float32(0.0))],
+        flops=elements,
+    )
+    return ModuleOp([fn]), spec
+
+
+def lowlevel_matmul_t_f32(
+    k: int, n: int, unroll: int = 4
+) -> tuple[ModuleOp, KernelSpec]:
+    """f32 MatMulT (``C[1xN] = A[1xK] @ B[NxK].T``) with packed SIMD.
+
+    "This kernel computes the dot products of even and odd elements of
+    rows from the input matrices using SIMD operations, sums them up,
+    and stores the result at the corresponding offset ... unrolled by a
+    factor of four" (paper Section 4.3).
+    """
+    if k % 2 or n % unroll:
+        raise ValueError("need K even and N divisible by the unroll")
+    if unroll % 2:
+        raise ValueError("unroll must be even (results stored in pairs)")
+    words = k // 2
+    groups = n // unroll
+    fn = riscv_func.FuncOp(
+        "matmul_t32", riscv_func.abi_arg_types(["int", "int", "int"])
+    )
+    builder = Builder.at_end(fn.entry_block)
+    a, b, c = _arg_copies(builder, fn)
+    # A: the same K/2 packed words are replayed `unroll` times per group.
+    a_pattern = StridePattern([groups, words, unroll], [0, 8, 0])
+    # B: rows j = group*unroll + lane, each row K*4 bytes.
+    b_pattern = StridePattern(
+        [groups, words, unroll], [unroll * k * 4, 8, k * 4]
+    )
+    zero_int = builder.insert(
+        riscv.GetRegisterOp(IntRegisterType("zero"))
+    ).result
+    packed_zero = builder.insert(riscv.FCvtDWOp(zero_int)).results[0]
+    region = StreamingRegionOp([a, b], [], [a_pattern, b_pattern])
+    builder.insert(region)
+    inner = Builder.at_end(region.body_block)
+    lb = inner.insert(riscv.LiOp(0)).rd
+    ub = inner.insert(riscv.LiOp(groups)).rd
+    step = inner.insert(riscv.LiOp(1)).rd
+    loop = riscv_scf.ForOp(lb, ub, step, [c])
+    inner.insert(loop)
+    body = Builder.at_end(loop.body_block)
+    c_ptr = loop.body_iter_args[0]
+    accumulators = [
+        body.insert(riscv.FMVOp(packed_zero)).rd for _ in range(unroll)
+    ]
+    frep, frep_builder = _frep(body, words, accumulators)
+    new_accs = []
+    for lane in range(unroll):
+        a_read = frep_builder.insert(
+            riscv_snitch.ReadOp(region.body_block.args[0])
+        ).result
+        b_read = frep_builder.insert(
+            riscv_snitch.ReadOp(region.body_block.args[1])
+        ).result
+        mac = frep_builder.insert(
+            riscv_snitch.VFMacSOp(
+                frep.body_iter_args[lane], a_read, b_read
+            )
+        )
+        new_accs.append(mac.rd)
+    frep_builder.insert(riscv_snitch.FrepYieldOp(new_accs))
+    # Horizontal reduction of the two lanes, then pack results in pairs.
+    sums = []
+    for lane in range(unroll):
+        fresh = body.insert(riscv.FMVOp(packed_zero)).rd
+        sums.append(
+            body.insert(
+                riscv_snitch.VFSumSOp(fresh, frep.results[lane])
+            ).rd
+        )
+    for pair in range(unroll // 2):
+        packed = body.insert(
+            riscv_snitch.VFCpkaSSOp(sums[2 * pair], sums[2 * pair + 1])
+        ).rd
+        body.insert(riscv.FSdOp(packed, c_ptr, 8 * pair))
+    next_ptr = body.insert(riscv.AddiOp(c_ptr, 4 * unroll)).rd
+    body.insert(riscv_scf.YieldOp([next_ptr]))
+    builder.insert(riscv_func.ReturnOp())
+    spec = KernelSpec(
+        name="matmul_t32",
+        arguments=[
+            ArrayArg((1, k), "in", np.float32),
+            ArrayArg((n, k), "in", np.float32),
+            ArrayArg((1, n), "out", np.float32),
+        ],
+        reference=lambda av, bv, _c: [None, None, av @ bv.T],
+        flops=2 * n * k,
+        uses_fma=True,
+    )
+    return ModuleOp([fn]), spec
+
+
+def lowlevel_fill_f64(n: int, m: int) -> tuple[ModuleOp, KernelSpec]:
+    """Handwritten f64 fill: one streamed ``fmv.d`` per element."""
+    elements = n * m
+    fn = riscv_func.FuncOp(
+        "fill64", riscv_func.abi_arg_types(["float", "int"])
+    )
+    builder = Builder.at_end(fn.entry_block)
+    value, out = _arg_copies(builder, fn)
+    pattern = StridePattern([elements], [8])
+    region = StreamingRegionOp([], [out], [pattern])
+    builder.insert(region)
+    inner = Builder.at_end(region.body_block)
+    _, frep_builder = _frep(inner, elements)
+    frep_builder.insert(
+        riscv.FMVOp(value, result_type=FloatRegisterType("ft0"))
+    )
+    frep_builder.insert(riscv_snitch.FrepYieldOp())
+    builder.insert(riscv_func.ReturnOp())
+    spec = KernelSpec(
+        name="fill64",
+        arguments=[ScalarArg(), ArrayArg((n, m), "out")],
+        reference=lambda v, _o: [None, np.full((n, m), v)],
+        flops=elements,
+    )
+    return ModuleOp([fn]), spec
+
+
+__all__ = [
+    "lowlevel_sum_f32",
+    "lowlevel_relu_f32",
+    "lowlevel_matmul_t_f32",
+    "lowlevel_fill_f64",
+]

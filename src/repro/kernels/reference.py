@@ -1,0 +1,81 @@
+"""Numpy golden models for every kernel (validation oracles)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def ref_fill(value: float, out: np.ndarray) -> np.ndarray:
+    """Fill: every element becomes ``value``."""
+    return np.full_like(out, value)
+
+
+def ref_sum(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Element-wise sum."""
+    return x + y
+
+
+def ref_relu(x: np.ndarray) -> np.ndarray:
+    """Element-wise max(x, 0)."""
+    return np.maximum(x, 0.0)
+
+
+def ref_conv3x3(image: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Valid 3x3 cross-correlation (no padding, stride 1)."""
+    n = image.shape[0] - 2
+    m = image.shape[1] - 2
+    out = np.zeros((n, m), dtype=image.dtype)
+    for ki in range(3):
+        for kj in range(3):
+            out += weights[ki, kj] * image[ki : ki + n, kj : kj + m]
+    return out
+
+
+def ref_max_pool3x3(image: np.ndarray) -> np.ndarray:
+    """3x3 max pooling with stride 1."""
+    n = image.shape[0] - 2
+    m = image.shape[1] - 2
+    out = np.full((n, m), -np.inf, dtype=image.dtype)
+    for ki in range(3):
+        for kj in range(3):
+            out = np.maximum(out, image[ki : ki + n, kj : kj + m])
+    return out
+
+
+def ref_sum_pool3x3(image: np.ndarray) -> np.ndarray:
+    """3x3 sum pooling with stride 1."""
+    n = image.shape[0] - 2
+    m = image.shape[1] - 2
+    out = np.zeros((n, m), dtype=image.dtype)
+    for ki in range(3):
+        for kj in range(3):
+            out += image[ki : ki + n, kj : kj + m]
+    return out
+
+
+def ref_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """C = A @ B."""
+    return a @ b
+
+
+def ref_matmul_transposed(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """C = A @ B.T (B stored row-per-output)."""
+    return a @ b.T
+
+
+def ref_matvec(matrix: np.ndarray, vector: np.ndarray) -> np.ndarray:
+    """z = Y @ x (paper Figure 2's vector-matrix product)."""
+    return matrix @ vector
+
+
+__all__ = [
+    "ref_fill",
+    "ref_sum",
+    "ref_relu",
+    "ref_conv3x3",
+    "ref_max_pool3x3",
+    "ref_sum_pool3x3",
+    "ref_matmul",
+    "ref_matmul_transposed",
+    "ref_matvec",
+]

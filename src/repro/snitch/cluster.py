@@ -1,0 +1,162 @@
+"""Multi-core Snitch cluster execution.
+
+A Snitch cluster couples N cores to one shared TCDM (paper Figure 3).
+The paper's Figure 11 discussion notes that "higher-level tools calling
+into our compiler" should account for per-kernel setup overheads "when
+distributing larger workloads between Snitch cores" — this module is
+that higher-level tool: it partitions a kernel's parallel output rows
+across cores, runs one compiled kernel instance per core against the
+shared memory, and reports per-core and aggregate metrics.
+
+The model is contention-free (the real cluster's TCDM has enough banks
+to serve all cores for the affine patterns used here): total latency is
+the slowest core's latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .assembler import assemble
+from .machine import SnitchMachine
+from .memory import TCDM
+from .trace import ExecutionTrace
+
+
+@dataclass
+class CoreRun:
+    """One core's share of the work."""
+
+    core: int
+    #: Rows [start, stop) of the output this core produced.
+    rows: tuple[int, int]
+    trace: ExecutionTrace
+
+
+@dataclass
+class ClusterRun:
+    """Aggregate outcome of a partitioned kernel."""
+
+    cores: list[CoreRun]
+    arrays: list[np.ndarray | None]
+
+    @property
+    def cycles(self) -> int:
+        """Cluster latency: the slowest core."""
+        return max(core.trace.cycles for core in self.cores)
+
+    @property
+    def total_flops(self) -> int:
+        """Work done across all cores."""
+        return sum(core.trace.flops for core in self.cores)
+
+    @property
+    def cluster_utilization(self) -> float:
+        """Mean per-core FPU utilization over the cluster latency."""
+        if not self.cycles:
+            return 0.0
+        busy = sum(core.trace.fpu_arith_cycles for core in self.cores)
+        return busy / (self.cycles * len(self.cores))
+
+    def speedup_over(self, single_core_cycles: int) -> float:
+        """Parallel speedup relative to a single-core run."""
+        return single_core_cycles / self.cycles
+
+
+def partition_rows(rows: int, num_cores: int) -> list[tuple[int, int]]:
+    """Split ``rows`` into contiguous, balanced [start, stop) chunks."""
+    if num_cores < 1:
+        raise ValueError("need at least one core")
+    base = rows // num_cores
+    extra = rows % num_cores
+    chunks = []
+    start = 0
+    for core in range(num_cores):
+        size = base + (1 if core < extra else 0)
+        chunks.append((start, start + size))
+        start += size
+    return chunks
+
+
+def run_row_partitioned(
+    kernel_builder,
+    compile_fn,
+    shape: tuple[int, int],
+    num_cores: int,
+    arguments: list[np.ndarray | float],
+    row_parallel_args: list[int],
+    seed_rows_arg: int | None = None,
+) -> ClusterRun:
+    """Run a 2-d row-parallel kernel across ``num_cores`` cores.
+
+    ``kernel_builder(rows, cols)`` must build the kernel for a given
+    row count; ``compile_fn(module, spec)`` compiles it;
+    ``row_parallel_args`` lists the indices of array arguments that are
+    partitioned by rows (all others are broadcast to every core).
+
+    The shared TCDM holds one copy of every array; each core receives
+    row-offset base pointers into it.
+    """
+    rows, cols = shape
+    chunks = [
+        chunk
+        for chunk in partition_rows(rows, num_cores)
+        if chunk[1] > chunk[0]
+    ]
+
+    memory = TCDM()
+    placements: list[tuple[int, np.ndarray] | None] = []
+    for argument in arguments:
+        if isinstance(argument, np.ndarray):
+            base = memory.allocate(argument.nbytes)
+            memory.write_array(base, argument)
+            placements.append((base, argument))
+        else:
+            placements.append(None)
+
+    core_runs = []
+    for core, (start, stop) in enumerate(chunks):
+        module, spec = kernel_builder(stop - start, cols)
+        compiled = compile_fn(module, spec)
+        machine = SnitchMachine(assemble(compiled.asm), memory)
+        int_args: dict[str, int] = {}
+        float_args: dict[str, float] = {}
+        next_int = 0
+        next_float = 0
+        for index, placement in enumerate(placements):
+            if placement is None:
+                float_args[f"fa{next_float}"] = float(arguments[index])
+                next_float += 1
+                continue
+            base, array = placement
+            offset = 0
+            if index in row_parallel_args:
+                row_bytes = array.nbytes // array.shape[0]
+                offset = start * row_bytes
+            int_args[f"a{next_int}"] = base + offset
+            next_int += 1
+        trace = machine.run(
+            compiled.entry, int_args=int_args, float_args=float_args
+        )
+        core_runs.append(
+            CoreRun(core=core, rows=(start, stop), trace=trace)
+        )
+
+    arrays: list[np.ndarray | None] = []
+    for placement in placements:
+        if placement is None:
+            arrays.append(None)
+            continue
+        base, array = placement
+        arrays.append(memory.read_array(base, array.shape, array.dtype))
+    return ClusterRun(cores=core_runs, arrays=arrays)
+
+
+__all__ = [
+    "CoreRun",
+    "ClusterRun",
+    "partition_rows",
+    "run_row_partitioned",
+]

@@ -1,0 +1,152 @@
+"""Instruction representation and ISA classification tables.
+
+The simulated ISA is the subset of RV32IMAFD plus the Snitch extensions
+that the backend emits: FREP (``frep.o``), SSR configuration (``scfgwi``,
+``csrsi``/``csrci`` on ``ssrcfg``) and the pre-standard packed-SIMD
+instructions.  Classification sets below drive both the cycle model and
+the performance counters (FLOP counting per the paper's methodology:
+an FMA counts as two FLOPs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Inst:
+    """One decoded assembly instruction."""
+
+    mnemonic: str
+    #: Destination register name (``None`` for stores/branches).
+    rd: str | None = None
+    #: Source register names, in assembly order.
+    sources: tuple[str, ...] = ()
+    #: Immediate operand (offsets, shift amounts, scfgwi addresses).
+    imm: int | None = None
+    #: Branch/jump target label.
+    target: str | None = None
+    #: CSR name for csr instructions.
+    csr: str | None = None
+    #: FREP: number of body instructions.
+    frep_length: int | None = None
+    #: Source line (debugging aid for traces).
+    text: str = ""
+
+    def __str__(self) -> str:
+        return self.text or self.mnemonic
+
+
+# -- classification -----------------------------------------------------------
+
+#: Integer ALU instructions (1 cycle).
+INT_ALU = {"add", "sub", "mul", "addi", "slli", "li", "mv"}
+
+#: Integer memory instructions.
+INT_LOADS = {"lw"}
+INT_STORES = {"sw"}
+
+#: FP loads/stores (execute on the FPU-side LSU).
+FP_LOADS = {"fld", "flw"}
+FP_STORES = {"fsd", "fsw"}
+
+#: FP moves/converts (single-cycle result, no FLOPs).
+FP_MOVES = {"fcvt.d.w", "vfcpka.s.s"}
+
+#: FP datapath ops: mnemonic -> FLOPs.
+#: ``fmv.d`` counts as one operation: data-movement kernels (Fill) are
+#: given an NM FLOP roofline in paper Table 1, so the register copy that
+#: realises each element *is* the counted operation.
+FP_ARITH_FLOPS = {
+    "fmv.d": 1,
+    "fadd.d": 1, "fsub.d": 1, "fmul.d": 1, "fdiv.d": 1,
+    "fmax.d": 1, "fmin.d": 1, "fmadd.d": 2,
+    "fadd.s": 1, "fsub.s": 1, "fmul.s": 1,
+    "fmax.s": 1, "fmin.s": 1, "fmadd.s": 2,
+    # packed SIMD: two f32 lanes per register
+    "vfadd.s": 2, "vfmul.s": 2, "vfmax.s": 2,
+    "vfmac.s": 4, "vfsum.s": 2,
+}
+
+#: All instructions the FPU sequencer accepts (legal in a FREP body).
+FPU_INSTRUCTIONS = (
+    set(FP_ARITH_FLOPS) | FP_MOVES | FP_LOADS | FP_STORES
+)
+
+#: Conditional branches.
+BRANCHES = {"blt", "bge", "bne", "beq", "bnez"}
+
+#: Unconditional control transfer.
+JUMPS = {"j", "ret"}
+
+#: Snitch stream configuration.
+STREAM_CONFIG = {"scfgwi", "csrsi", "csrci"}
+
+
+def is_fp_register(name: str) -> bool:
+    """Whether ``name`` is an FP register (f-prefixed ABI name)."""
+    return name.startswith("f") and name != "fp"
+
+
+# -- SSR configuration word encoding -------------------------------------------
+#
+# ``scfgwi rs1, imm`` writes the integer register to the configuration
+# word ``imm & 31`` of data mover ``imm >> 5``:
+#
+#   word 0..3   bound of dimension d, stored as (iterations - 1);
+#               dimension 0 is the innermost
+#   word 8..11  byte stride of dimension d
+#   word 16     repetition count, stored as (repeats - 1): every element
+#               is served that many times (the paper's zero-stride
+#               optimization target)
+#   word 24+d   write the base pointer and arm the mover for *reading*
+#               with d+1 active dimensions
+#   word 28+d   as above, for *writing*
+
+WORD_BOUND_BASE = 0
+WORD_STRIDE_BASE = 8
+WORD_REPEAT = 16
+WORD_READ_POINTER_BASE = 24
+WORD_WRITE_POINTER_BASE = 28
+
+#: Number of hardware address-generation dimensions per data mover.
+SSR_MAX_DIMS = 4
+
+#: Number of data movers (ft0, ft1, ft2).
+SSR_COUNT = 3
+
+
+def scfg_address(data_mover: int, word: int) -> int:
+    """Encode an ``scfgwi`` immediate for (data mover, word)."""
+    return (data_mover << 5) | word
+
+
+def scfg_decode(address: int) -> tuple[int, int]:
+    """Decode an ``scfgwi`` immediate into (data mover, word)."""
+    return address >> 5, address & 31
+
+
+__all__ = [
+    "Inst",
+    "INT_ALU",
+    "INT_LOADS",
+    "INT_STORES",
+    "FP_LOADS",
+    "FP_STORES",
+    "FP_MOVES",
+    "FP_ARITH_FLOPS",
+    "FPU_INSTRUCTIONS",
+    "BRANCHES",
+    "JUMPS",
+    "STREAM_CONFIG",
+    "is_fp_register",
+    "SSR_MAX_DIMS",
+    "SSR_COUNT",
+    "WORD_BOUND_BASE",
+    "WORD_STRIDE_BASE",
+    "WORD_REPEAT",
+    "WORD_READ_POINTER_BASE",
+    "WORD_WRITE_POINTER_BASE",
+    "scfg_address",
+    "scfg_decode",
+]

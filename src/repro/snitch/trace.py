@@ -1,0 +1,78 @@
+"""Execution traces and performance counters.
+
+Implements the paper's measurement methodology (Section 4.1): cycle
+count, throughput (FLOPs/cycle, an FMA counting as two FLOPs), and FPU
+utilization ("the ratio of cycles spent in the FPU executing arithmetic
+instructions over the total execution latency").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ExecutionTrace:
+    """All counters collected while running one kernel."""
+
+    #: Total execution latency in cycles.
+    cycles: int = 0
+    #: Cycles the FPU spent executing *arithmetic* instructions.
+    fpu_arith_cycles: int = 0
+    #: Floating-point operations performed (FMA = 2).
+    flops: int = 0
+    #: Dynamic count of executed explicit loads (lw/fld/flw).
+    loads: int = 0
+    #: Dynamic count of executed explicit stores (sw/fsd/fsw).
+    stores: int = 0
+    #: Dynamic count of executed FMA instructions.
+    fmadd: int = 0
+    #: Dynamic count of executed ``frep.o`` instructions.
+    frep: int = 0
+    #: Dynamic count of integer-core instructions.
+    int_instructions: int = 0
+    #: Dynamic count of FPU-side instructions (incl. replayed FREP body).
+    fpu_instructions: int = 0
+    #: Elements moved by the stream semantic registers.
+    ssr_reads: int = 0
+    ssr_writes: int = 0
+    #: Cycles lost to FPU RAW stalls (diagnostic, used by tests).
+    fpu_stall_cycles: int = 0
+    #: Dynamic mnemonic histogram.
+    histogram: dict[str, int] = field(default_factory=dict)
+
+    def record(self, mnemonic: str) -> None:
+        """Bump the dynamic histogram."""
+        self.histogram[mnemonic] = self.histogram.get(mnemonic, 0) + 1
+
+    # -- derived metrics ----------------------------------------------------------
+
+    @property
+    def fpu_utilization(self) -> float:
+        """FPU arithmetic cycles over total latency (0..1)."""
+        if self.cycles == 0:
+            return 0.0
+        return self.fpu_arith_cycles / self.cycles
+
+    @property
+    def throughput(self) -> float:
+        """FLOPs per cycle."""
+        if self.cycles == 0:
+            return 0.0
+        return self.flops / self.cycles
+
+    def occupancy_percent(self) -> float:
+        """FPU utilization as a percentage (Table 3's "Occupancy")."""
+        return 100.0 * self.fpu_utilization
+
+    def summary(self) -> str:
+        """A one-line human-readable summary."""
+        return (
+            f"cycles={self.cycles} flops={self.flops} "
+            f"throughput={self.throughput:.2f} "
+            f"util={self.fpu_utilization:.1%} loads={self.loads} "
+            f"stores={self.stores}"
+        )
+
+
+__all__ = ["ExecutionTrace"]

@@ -1,0 +1,168 @@
+"""Command-line micro-kernel compiler.
+
+Compile a kernel from the Table 1 suite through any named pipeline,
+print the assembly and (optionally) simulate and validate it::
+
+    python -m repro.tools.kernel_compiler matmul 1 200 5 \\
+        --pipeline ours --run
+    python -m repro.tools.kernel_compiler conv3x3 8 20 \\
+        --pipeline clang --run --compare ours
+    python -m repro.tools.kernel_compiler matvec 5 200 --show-stages
+
+This is the reproduction's equivalent of the paper artifact's
+per-experiment scripts (Section A.7).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .. import api, kernels
+
+#: Kernel name -> (builder, number of size arguments).
+KERNEL_BUILDERS = {
+    "fill": (kernels.fill, 2),
+    "sum": (kernels.sum_kernel, 2),
+    "relu": (kernels.relu, 2),
+    "conv3x3": (kernels.conv3x3, 2),
+    "max_pool3x3": (kernels.max_pool3x3, 2),
+    "sum_pool3x3": (kernels.sum_pool3x3, 2),
+    "matmul": (kernels.matmul, 3),
+    "matmul_t": (kernels.matmul_transposed, 3),
+    "matvec": (kernels.matvec, 2),
+}
+
+
+def build_argument_parser() -> argparse.ArgumentParser:
+    """The tool's CLI schema."""
+    from ..transforms.pipelines import PIPELINE_NAMES
+
+    parser = argparse.ArgumentParser(
+        prog="repro-kernel-compiler",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "kernel", choices=sorted(KERNEL_BUILDERS), help="kernel name"
+    )
+    parser.add_argument(
+        "sizes", type=int, nargs="+", help="shape sizes (kernel-specific)"
+    )
+    parser.add_argument(
+        "--pipeline",
+        default="ours",
+        choices=PIPELINE_NAMES,
+        help="compilation flow (default: ours)",
+    )
+    parser.add_argument(
+        "--unroll-factor",
+        type=int,
+        default=None,
+        help="override the automatic unroll-and-jam factor",
+    )
+    parser.add_argument(
+        "--run",
+        action="store_true",
+        help="simulate on the Snitch model and validate against numpy",
+    )
+    parser.add_argument(
+        "--compare",
+        metavar="PIPELINE",
+        default=None,
+        help="also compile+run with another pipeline and compare",
+    )
+    parser.add_argument(
+        "--show-stages",
+        action="store_true",
+        help="print the IR after every pass (progressive lowering)",
+    )
+    parser.add_argument(
+        "--no-asm", action="store_true", help="do not print the assembly"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="input data seed"
+    )
+    return parser
+
+
+def compile_kernel(name, sizes, pipeline, unroll_factor, show_stages):
+    """Build + compile; returns (spec, compiled)."""
+    builder, arity = KERNEL_BUILDERS[name]
+    if len(sizes) != arity:
+        raise SystemExit(
+            f"kernel {name!r} takes {arity} sizes, got {len(sizes)}"
+        )
+    module, spec = builder(*sizes)
+    compiled = api.compile_linalg(
+        module,
+        pipeline=pipeline,
+        unroll_factor=unroll_factor,
+        snapshots=show_stages,
+    )
+    return spec, compiled
+
+
+def report_run(spec, compiled, seed: int) -> "api.KernelRun":
+    """Simulate, validate and print the paper's metrics."""
+    arguments = spec.random_arguments(seed=seed)
+    result = api.run_kernel(compiled, arguments)
+    expected = spec.reference(*arguments)
+    for got, want in zip(result.arrays, expected):
+        if want is not None and not np.allclose(got, want, atol=1e-9):
+            raise SystemExit("simulation result does not match numpy!")
+    trace = result.trace
+    fp, integer = compiled.register_usage()
+    print(f"cycles:          {trace.cycles}")
+    print(f"throughput:      {trace.throughput:.3f} FLOPs/cycle")
+    print(f"fpu utilization: {trace.fpu_utilization:.1%}")
+    print(f"loads/stores:    {trace.loads}/{trace.stores}")
+    print(f"registers:       {fp}/20 FP, {integer}/15 int")
+    print("numpy check:     OK")
+    return result
+
+
+def main(argv=None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_argument_parser().parse_args(argv)
+    spec, compiled = compile_kernel(
+        args.kernel,
+        args.sizes,
+        args.pipeline,
+        args.unroll_factor,
+        args.show_stages,
+    )
+    if args.show_stages:
+        for name, text in compiled.snapshots:
+            print(f"// ===== after {name} =====")
+            print(text)
+    if not args.no_asm:
+        print(compiled.asm)
+    if args.run or args.compare:
+        print(f"--- {args.pipeline} ---")
+        base = report_run(spec, compiled, args.seed)
+        if args.compare:
+            other_spec, other = compile_kernel(
+                args.kernel,
+                args.sizes,
+                args.compare,
+                args.unroll_factor,
+                False,
+            )
+            print(f"--- {args.compare} ---")
+            other_run = report_run(other_spec, other, args.seed)
+            speedup = other_run.trace.cycles / base.trace.cycles
+            print(
+                f"{args.pipeline} is {speedup:.2f}x faster than "
+                f"{args.compare}"
+                if speedup > 1
+                else f"{args.compare} is {1 / speedup:.2f}x faster "
+                f"than {args.pipeline}"
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""Lowering and optimization passes.
+
+The progressive lowering of paper Section 3.4, "structured as small,
+self-contained passes":
+
+high level          ``convert_linalg_to_memref_stream``
+scheduling          ``fuse_fill`` -> ``scalar_replacement`` ->
+                    ``unroll_and_jam``
+access/execute      ``lower_to_snitch`` (streamed path) or
+separation          ``lower_generic_to_loops`` + ``convert_to_riscv``
+                    (general-purpose-backend-like path)
+backend             ``fuse_fmadd`` -> ``allocate_registers`` ->
+                    ``lower_snitch_stream`` -> ``lower_riscv_scf`` ->
+                    assembly emission
+
+``pipelines`` assembles these into the named flows used in the
+evaluation ("ours", the Table 3 ablation prefixes, and the "clang" /
+"mlir" baselines).
+"""

@@ -1,0 +1,22 @@
+"""Pass wrapper around the multi-level register allocator."""
+
+from __future__ import annotations
+
+from ..backend.register_allocator import RegisterAllocator
+from ..dialects import riscv_func
+from ..ir.core import Operation
+from ..ir.pass_manager import ModulePass
+
+
+class AllocateRegistersPass(ModulePass):
+    """Run the spill-free allocator on every ``rv_func.func``."""
+
+    name = "allocate-registers"
+
+    def run(self, module: Operation) -> None:
+        for op in list(module.walk()):
+            if isinstance(op, riscv_func.FuncOp):
+                RegisterAllocator().allocate(op)
+
+
+__all__ = ["AllocateRegistersPass"]

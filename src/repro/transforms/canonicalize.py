@@ -1,0 +1,80 @@
+"""Peephole canonicalizations on the RISC-V dialects.
+
+Two groups, matching where they are legal in the pipeline:
+
+* :class:`CanonicalizePass` — before register allocation:
+  per-block deduplication of identical ``li`` constants (the stream
+  configuration sequences materialise the same bound/stride values
+  repeatedly) and folding of ``addi rd, rs, 0`` into its operand.
+* :class:`EliminateIdentityMovesPass` — after register allocation and
+  loop flattening: ``mv x, x`` / ``fmv.d f, f`` moves whose source and
+  destination ended up in the same register are dead *unless* the
+  register has stream semantics (reading/writing ft0-ft2 inside a
+  streaming region pops/pushes and must be preserved).
+"""
+
+from __future__ import annotations
+
+from ..backend.registers import SNITCH_STREAM_REGISTERS
+from ..dialects import riscv
+from ..ir.core import Block, Operation
+from ..ir.pass_manager import ModulePass
+
+
+class CanonicalizePass(ModulePass):
+    """Pre-allocation cleanups: constant dedup, addi-zero folding."""
+
+    name = "canonicalize"
+
+    def run(self, module: Operation) -> None:
+        for op in list(module.walk()):
+            for region in op.regions:
+                for block in region.blocks:
+                    self._canonicalize_block(block)
+
+    def _canonicalize_block(self, block: Block) -> None:
+        constants: dict[int, riscv.LiOp] = {}
+        for op in list(block.ops):
+            if isinstance(op, riscv.LiOp):
+                rd_type = op.rd.type
+                if rd_type.is_allocated:
+                    continue  # pinned constants are not shareable
+                existing = constants.get(op.immediate)
+                if existing is None:
+                    constants[op.immediate] = op
+                    continue
+                op.rd.replace_all_uses_with(existing.rd)
+                op.erase()
+            elif isinstance(op, riscv.AddiOp) and op.immediate == 0:
+                if op.rd.type.is_allocated:
+                    continue
+                op.rd.replace_all_uses_with(op.rs1)
+                op.erase()
+
+
+class EliminateIdentityMovesPass(ModulePass):
+    """Post-allocation cleanup: drop moves within the same register."""
+
+    name = "eliminate-identity-moves"
+
+    def run(self, module: Operation) -> None:
+        for op in list(module.walk()):
+            if not isinstance(op, (riscv.MVOp, riscv.FMVOp)):
+                continue
+            source_type = op.rs.type
+            dest_type = op.rd.type
+            if not (
+                source_type.is_allocated
+                and source_type == dest_type
+            ):
+                continue
+            if (
+                isinstance(op, riscv.FMVOp)
+                and dest_type.register in SNITCH_STREAM_REGISTERS
+            ):
+                continue  # may be a stream pop/push: keep it
+            op.rd.replace_all_uses_with(op.rs)
+            op.erase()
+
+
+__all__ = ["CanonicalizePass", "EliminateIdentityMovesPass"]

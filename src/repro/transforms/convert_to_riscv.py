@@ -1,0 +1,266 @@
+"""Convert ``func``/``scf``/``arith``/``memref`` to the RISC-V dialects.
+
+The generic, target-agnostic backend path: this is our stand-in for
+"lowering through LLVM" (paper Figure 8).  Like a general-purpose
+backend it knows nothing about SSRs or FREP: every ``memref.load``
+recomputes its address with integer arithmetic and becomes an explicit
+``fld``; loops become ``rv_scf.for`` (and later branches).  The paper's
+point — and the measurable effect — is that code of this shape keeps the
+integer issue port busy with bookkeeping, capping FPU utilization.
+"""
+
+from __future__ import annotations
+
+from ..dialects import (
+    arith,
+    func as func_dialect,
+    memref,
+    riscv,
+    riscv_func,
+    riscv_scf,
+    scf,
+)
+from ..dialects.riscv import FloatRegisterType, IntRegisterType
+from ..ir.attributes import (
+    FloatAttr,
+    FloatType,
+    IndexType,
+    IntAttr,
+    IntegerType,
+    MemRefType,
+)
+from ..ir.builder import Builder
+from ..ir.core import Block, IRError, Operation, SSAValue
+from ..ir.pass_manager import ModulePass
+
+
+class ConversionError(IRError):
+    """Raised on IR the RISC-V conversion does not understand."""
+
+
+#: arith float op -> rv instruction (f64).
+_FLOAT_OPS = {
+    arith.AddfOp: riscv.FAddDOp,
+    arith.SubfOp: riscv.FSubDOp,
+    arith.MulfOp: riscv.FMulDOp,
+    arith.DivfOp: riscv.FDivDOp,
+    arith.MaximumfOp: riscv.FMaxDOp,
+    arith.MinimumfOp: riscv.FMinDOp,
+}
+
+#: arith integer op -> rv instruction.
+_INT_OPS = {
+    arith.AddiOp: riscv.AddOp,
+    arith.SubiOp: riscv.SubOp,
+    arith.MuliOp: riscv.MulOp,
+}
+
+
+class ConvertToRISCVPass(ModulePass):
+    """Rewrite every function into ``rv_func`` + ``rv_scf`` + ``rv``."""
+
+    name = "convert-to-riscv"
+
+    def run(self, module: Operation) -> None:
+        block = module.body.block
+        for op in list(block.ops):
+            if isinstance(op, func_dialect.FuncOp):
+                new_func = _FuncConversion(op).convert()
+                block.insert_op_before(new_func, op)
+                op.erase()
+
+
+class _FuncConversion:
+    def __init__(self, old_func: func_dialect.FuncOp):
+        self.old = old_func
+        self.value_map: dict[int, SSAValue] = {}
+        #: Block new ops are appended to (switches inside loop bodies).
+        self.current_block: Block | None = None
+        #: Function-level integer constant pool: like a strength-reduced
+        #: backend, each distinct constant is materialised once at entry
+        #: (this keeps baseline register pressure spill-free).
+        self._constants: dict[int, SSAValue] = {}
+        self._entry_block: Block | None = None
+        self._constant_count = 0
+
+    def convert(self) -> riscv_func.FuncOp:
+        kinds = []
+        for arg in self.old.args:
+            if isinstance(arg.type, MemRefType):
+                kinds.append("int")
+            elif isinstance(arg.type, FloatType):
+                kinds.append("float")
+            else:
+                raise ConversionError(
+                    f"unsupported argument type {arg.type}"
+                )
+        new_func = riscv_func.FuncOp(
+            self.old.sym_name, riscv_func.abi_arg_types(kinds)
+        )
+        self._entry_block = new_func.entry_block
+        self.current_block = new_func.entry_block
+        # Arguments are used directly in their ABI registers: the
+        # general-purpose flows do not reserve-and-copy.
+        for old_arg, new_arg in zip(self.old.args, new_func.args):
+            self.value_map[id(old_arg)] = new_arg
+        self._convert_block(self.old.entry_block)
+        return new_func
+
+    # -- helpers -------------------------------------------------------------------
+
+    def emit(self, op):
+        """Append ``op`` to the current block."""
+        self.current_block.add_op(op)
+        return op
+
+    def mapped(self, value: SSAValue) -> SSAValue:
+        new = self.value_map.get(id(value))
+        if new is None:
+            raise ConversionError("use of unconverted value")
+        return new
+
+    def zero_reg(self) -> SSAValue:
+        return self.li(0)
+
+    def li(self, value: int) -> SSAValue:
+        """A function-level constant, materialised once at entry."""
+        cached = self._constants.get(value)
+        if cached is not None:
+            return cached
+        if value == 0:
+            op = riscv.GetRegisterOp(IntRegisterType("zero"))
+            result = op.result
+        else:
+            op = riscv.LiOp(value)
+            result = op.rd
+        # Constants go to the *front* of the entry block so they
+        # dominate every use; appends to the entry block's end are
+        # unaffected.
+        self._entry_block.insert_op(self._constant_count, op)
+        self._constant_count += 1
+        self._constants[value] = result
+        return result
+
+    # -- op conversion ----------------------------------------------------------------
+
+    def _convert_block(self, block: Block) -> None:
+        for op in block.ops:
+            self._convert_op(op)
+
+    def _convert_op(self, op: Operation) -> None:
+        if isinstance(op, arith.ConstantOp):
+            self._convert_constant(op)
+        elif type(op) in _INT_OPS:
+            new = self.emit(
+                _INT_OPS[type(op)](
+                    self.mapped(op.operands[0]),
+                    self.mapped(op.operands[1]),
+                )
+            )
+            self.value_map[id(op.results[0])] = new.rd
+        elif type(op) in _FLOAT_OPS:
+            new = self.emit(
+                _FLOAT_OPS[type(op)](
+                    self.mapped(op.operands[0]),
+                    self.mapped(op.operands[1]),
+                )
+            )
+            self.value_map[id(op.results[0])] = new.rd
+        elif isinstance(op, memref.LoadOp):
+            address = self._address_of(op.memref, op.indices)
+            new = self.emit(riscv.FLdOp(address, 0))
+            self.value_map[id(op.result)] = new.rd
+        elif isinstance(op, memref.StoreOp):
+            address = self._address_of(op.memref, op.indices)
+            self.emit(
+                riscv.FSdOp(self.mapped(op.value), address, 0)
+            )
+        elif isinstance(op, scf.ForOp):
+            self._convert_for(op)
+        elif isinstance(op, (scf.YieldOp, func_dialect.ReturnOp)):
+            pass  # handled by the parent construct / below
+        else:
+            raise ConversionError(f"cannot convert op {op.name}")
+        if isinstance(op, func_dialect.ReturnOp):
+            self.emit(riscv_func.ReturnOp())
+
+    def _convert_constant(self, op: arith.ConstantOp) -> None:
+        value = op.value
+        if isinstance(value, IntAttr):
+            self.value_map[id(op.result)] = self.li(value.value)
+            return
+        if isinstance(value, FloatAttr):
+            if value.value != int(value.value):
+                raise ConversionError(
+                    "only integral float constants are materialisable"
+                )
+            as_int = int(value.value)
+            source = (
+                self.zero_reg() if as_int == 0 else self.li(as_int)
+            )
+            new = self.emit(riscv.FCvtDWOp(source))
+            self.value_map[id(op.result)] = new.results[0]
+            return
+        raise ConversionError(f"unsupported constant {value}")
+
+    def _address_of(
+        self, memref_value: SSAValue, indices
+    ) -> SSAValue:
+        """Naive address computation: base + (linear index) * width.
+
+        Recomputed at every access, exactly like unoptimised
+        general-purpose codegen — the explicit integer traffic this
+        generates is the baseline behaviour the paper measures.
+        """
+        memref_type = memref_value.type
+        assert isinstance(memref_type, MemRefType)
+        base = self.mapped(memref_value)
+        strides = memref_type.strides()
+        linear: SSAValue | None = None
+        for index_value, stride in zip(indices, strides):
+            part = self.mapped(index_value)
+            if stride != 1:
+                part = self.emit(
+                    riscv.MulOp(part, self.li(stride))
+                ).rd
+            linear = (
+                part
+                if linear is None
+                else self.emit(riscv.AddOp(linear, part)).rd
+            )
+        if linear is None:
+            return base
+        shift = {8: 3, 4: 2}[memref_type.element_byte_width]
+        scaled = self.emit(riscv.SlliOp(linear, shift)).rd
+        return self.emit(riscv.AddOp(base, scaled)).rd
+
+    def _convert_for(self, op: scf.ForOp) -> None:
+        lb = self.mapped(op.lower_bound)
+        ub = self.mapped(op.upper_bound)
+        step = self.mapped(op.step)
+        iter_inits = [self.mapped(v) for v in op.iter_args]
+        loop = riscv_scf.ForOp(lb, ub, step, iter_inits)
+        self.emit(loop)
+        self.value_map[id(op.induction_variable)] = (
+            loop.induction_variable
+        )
+        for old_arg, new_arg in zip(
+            op.body_iter_args, loop.body_iter_args
+        ):
+            self.value_map[id(old_arg)] = new_arg
+        saved = self.current_block
+        self.current_block = loop.body_block
+        self._convert_block(op.body_block)
+        yield_op = op.body_block.last_op
+        assert isinstance(yield_op, scf.YieldOp)
+        self.emit(
+            riscv_scf.YieldOp(
+                [self.mapped(v) for v in yield_op.operands]
+            )
+        )
+        self.current_block = saved
+        for old_res, new_res in zip(op.results, loop.results):
+            self.value_map[id(old_res)] = new_res
+
+
+__all__ = ["ConvertToRISCVPass", "ConversionError"]

@@ -1,0 +1,54 @@
+"""Dead code elimination for pure operations."""
+
+from __future__ import annotations
+
+from ..dialects.riscv import FloatRegisterType, GetRegisterOp, IntRegisterType
+from ..ir.core import Operation
+from ..ir.pass_manager import ModulePass
+from ..ir.traits import Pure
+
+
+def _writes_physical_register(op: Operation) -> bool:
+    """Results pinned to a concrete register encode a deliberate
+    physical effect — a stream push (ft0-ft2 while streaming) or an ABI
+    value (a result left in fa0) — and must survive DCE.
+
+    ``rv.get_register`` only *names* a register and is always erasable.
+    """
+    if isinstance(op, GetRegisterOp):
+        return False
+    for result in op.results:
+        rtype = result.type
+        if (
+            isinstance(rtype, (FloatRegisterType, IntRegisterType))
+            and rtype.is_allocated
+        ):
+            return True
+    return False
+
+
+class DeadCodeEliminationPass(ModulePass):
+    """Erase pure ops (and constant materialisations) with no uses."""
+
+    name = "dce"
+
+    def run(self, module: Operation) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for op in list(module.walk()):
+                if op.parent is None or op is module:
+                    continue
+                if not op.has_trait(Pure):
+                    continue
+                if op.regions:
+                    continue
+                if any(r.has_uses for r in op.results):
+                    continue
+                if _writes_physical_register(op):
+                    continue
+                op.erase()
+                changed = True
+
+
+__all__ = ["DeadCodeEliminationPass"]

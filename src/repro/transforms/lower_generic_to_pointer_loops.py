@@ -1,0 +1,442 @@
+"""Pointer-carrying loop lowering: the *optimised* general-purpose flows.
+
+The paper's "Clang" and "MLIR" comparison flows go through the LLVM
+RISC-V backend at ``-O3``: addresses are strength-reduced to pointer
+increments, inner loops are unrolled, but the code still issues explicit
+loads/stores and loop control on the single in-order issue port and
+suffers FPU RAW hazards (paper Section 4.4: "suboptimal patterns in the
+generated assembly ... such as explicit loads/stores and RAW hazards").
+
+This pass emits exactly that code shape directly at the RISC-V level:
+
+* one ``rv_scf.for`` per iteration dim, threading one pointer per
+  operand through the whole nest — each loop's back-edge applies a
+  *compensated* increment (``stride_d - inner_advance``) so a single
+  register per operand suffices, like LLVM's loop-strength reduction;
+* the innermost loop unrolled by four, sequentially and *without*
+  interleaving — the unrolled accumulator chain keeps its
+  read-after-write dependency, which is why these flows plateau;
+* scalar-replaced generics keep the accumulator in a register (LLVM's
+  scalar promotion); otherwise the output is read-modified-written
+  through memory on every innermost iteration.
+"""
+
+from __future__ import annotations
+
+from ..dialects import (
+    arith,
+    func as func_dialect,
+    memref_stream,
+    riscv,
+    riscv_func,
+    riscv_scf,
+)
+from ..dialects.riscv import IntRegisterType
+from ..ir.attributes import FloatAttr, FloatType, IntAttr, MemRefType
+from ..ir.builder import Builder
+from ..ir.core import Block, Operation, SSAValue
+from ..ir.pass_manager import ModulePass
+from .lower_to_snitch import ARITH_TO_RV, LoweringError
+
+#: Innermost-loop unroll factor (mirrors LLVM's default on such loops).
+UNROLL = 4
+
+
+class LowerGenericToPointerLoopsPass(ModulePass):
+    """Lower functions to strength-reduced RISC-V loop nests."""
+
+    name = "lower-generic-to-pointer-loops"
+
+    def run(self, module: Operation) -> None:
+        block = module.body.block
+        for op in list(block.ops):
+            if isinstance(op, func_dialect.FuncOp):
+                new_func = _PointerLoopFunction(op).lower()
+                block.insert_op_before(new_func, op)
+                op.erase()
+
+
+class _PointerLoopFunction:
+    """Converts one function, one generic at a time."""
+
+    def __init__(self, old_func: func_dialect.FuncOp):
+        self.old = old_func
+        self.value_map: dict[int, SSAValue] = {}
+        self.current_block: Block | None = None
+        self._entry_block: Block | None = None
+        self._constants: dict[int, SSAValue] = {}
+        self._constant_count = 0
+
+    def lower(self) -> riscv_func.FuncOp:
+        kinds = []
+        for arg in self.old.args:
+            if isinstance(arg.type, MemRefType):
+                kinds.append("int")
+            elif isinstance(arg.type, FloatType):
+                kinds.append("float")
+            else:
+                raise LoweringError(
+                    f"unsupported argument type {arg.type}"
+                )
+        new_func = riscv_func.FuncOp(
+            self.old.sym_name, riscv_func.abi_arg_types(kinds)
+        )
+        self._entry_block = new_func.entry_block
+        self.current_block = new_func.entry_block
+        for old_arg, new_arg in zip(self.old.args, new_func.args):
+            self.value_map[id(old_arg)] = new_arg
+        for op in self.old.entry_block.ops:
+            if isinstance(op, arith.ConstantOp):
+                self._lower_constant(op)
+            elif isinstance(op, memref_stream.GenericOp):
+                _PointerLoopGeneric(self, op).lower()
+            elif isinstance(op, func_dialect.ReturnOp):
+                self.emit(riscv_func.ReturnOp())
+            else:
+                raise LoweringError(f"unsupported top-level op {op.name}")
+        return new_func
+
+    def emit(self, op):
+        """Append to the current block."""
+        self.current_block.add_op(op)
+        return op
+
+    def li(self, value: int) -> SSAValue:
+        """A function-level integer constant (zero register for 0).
+
+        Shared across the whole function — like LLVM's rematerialised
+        constants this keeps loop nests within the register budget.
+        """
+        cached = self._constants.get(value)
+        if cached is not None:
+            return cached
+        if value == 0:
+            op = riscv.GetRegisterOp(IntRegisterType("zero"))
+            result = op.result
+        else:
+            op = riscv.LiOp(value)
+            result = op.rd
+        self._entry_block.insert_op(self._constant_count, op)
+        self._constant_count += 1
+        self._constants[value] = result
+        return result
+
+    def float_constant(self, value: float) -> SSAValue:
+        """Materialize an integral FP constant via fcvt.d.w."""
+        if value != int(value):
+            raise LoweringError(
+                f"non-integral constant {value} unsupported"
+            )
+        return self.emit(riscv.FCvtDWOp(self.li(int(value)))).results[0]
+
+    def _lower_constant(self, op: arith.ConstantOp) -> None:
+        value = op.value
+        if isinstance(value, FloatAttr):
+            self.value_map[id(op.result)] = self.float_constant(
+                value.value
+            )
+        elif isinstance(value, IntAttr):
+            self.value_map[id(op.result)] = self.li(value.value)
+        else:
+            raise LoweringError(f"unsupported constant {value}")
+
+
+class _PointerLoopGeneric:
+    """Emits a strength-reduced loop nest for one generic."""
+
+    def __init__(self, fn: _PointerLoopFunction, op: memref_stream.GenericOp):
+        if op.interleave_factor != 1:
+            raise LoweringError(
+                "pointer-loop lowering expects non-interleaved generics"
+            )
+        self.fn = fn
+        self.op = op
+        self.bounds = list(op.bounds)
+        self.num_dims = len(self.bounds)
+        self.par_dims = op.parallel_dims
+        self.red_dims = op.reduction_dims
+        self.scalar_replaced = op.is_scalar_replaced
+        self._compute_strides()
+        self._plan()
+
+    def _compute_strides(self) -> None:
+        maps = self.op.indexing_maps
+        op = self.op
+        self.operand_strides: list[list[int]] = []
+        out_dims = (
+            self.par_dims
+            if self.scalar_replaced
+            else list(range(self.num_dims))
+        )
+        for index, (value, amap) in enumerate(zip(op.operands, maps)):
+            memref_type = value.type
+            if not isinstance(memref_type, MemRefType):
+                raise LoweringError("operands must be memrefs")
+            strides = amap.strides(memref_type.byte_strides())
+            if index < len(op.inputs):
+                per_dim = list(strides)
+            else:
+                # Output maps range over out_dims; expand to all dims
+                # with zero stride on the excluded (reduction) dims.
+                per_dim = [0] * self.num_dims
+                for position, dim in enumerate(out_dims):
+                    per_dim[dim] = strides[position]
+            self.operand_strides.append(per_dim)
+
+    def _plan(self) -> None:
+        """Static schedule: per-dim loop/unroll plan and pointer advances.
+
+        Like LLVM, small constant-trip loops (3x3 reduction windows) are
+        fully unrolled into static address offsets, and the innermost
+        remaining loop is partially unrolled by four.  This keeps the
+        loop nest shallow enough for spill-free allocation while leaving
+        the sequential (non-interleaved) dependency chains in place.
+        """
+        #: per dim: ("unroll", bound) or ("loop", trips, factor).
+        self.plan: list[tuple] = [None] * self.num_dims
+        innermost_loop_seen = False
+        for dim in range(self.num_dims - 1, -1, -1):
+            bound = self.bounds[dim]
+            if not innermost_loop_seen and bound <= UNROLL:
+                self.plan[dim] = ("unroll", bound)
+                continue
+            if not innermost_loop_seen:
+                factor = 1
+                for candidate in (UNROLL, 2):
+                    if bound % candidate == 0:
+                        factor = candidate
+                        break
+                self.plan[dim] = ("loop", bound // factor, factor)
+                innermost_loop_seen = True
+            else:
+                self.plan[dim] = ("loop", bound, 1)
+        #: advance[d][i]: pointer i's total movement over dims d..end.
+        n_ops = len(self.op.operands)
+        self.advance: list[list[int]] = [
+            [0] * n_ops for _ in range(self.num_dims + 1)
+        ]
+        for dim in range(self.num_dims - 1, -1, -1):
+            kind = self.plan[dim]
+            for i in range(n_ops):
+                if kind[0] == "unroll":
+                    self.advance[dim][i] = self.advance[dim + 1][i]
+                else:
+                    _, trips, factor = kind
+                    if trips == 1:
+                        self.advance[dim][i] = self.advance[dim + 1][i]
+                    else:
+                        self.advance[dim][i] = (
+                            trips * factor * self.operand_strides[i][dim]
+                        )
+
+    # -- emission ------------------------------------------------------------
+
+    def lower(self) -> None:
+        pointers = [
+            self.fn.value_map[id(v)] for v in self.op.operands
+        ]
+        self._emit_dim(0, pointers, accumulators=None, offsets={})
+
+    def _offset_of(self, index: int, offsets: dict[int, int]) -> int:
+        """Static byte offset of operand ``index`` for unrolled dims."""
+        return sum(
+            f * self.operand_strides[index][d]
+            for d, f in offsets.items()
+        )
+
+    def _emit_dim(
+        self,
+        dim: int,
+        pointers: list[SSAValue],
+        accumulators: list[SSAValue] | None,
+        offsets: dict[int, int],
+    ) -> tuple[list[SSAValue] | None, list[SSAValue]]:
+        """Emit the nest from ``dim``; returns (accumulators, pointers)
+        as SSA values after the nest ran."""
+        fn = self.fn
+        op = self.op
+        n_in = len(op.inputs)
+
+        # Entering the reduction region of a scalar-replaced generic:
+        # materialise the accumulator, run the reduction, store once.
+        if (
+            self.scalar_replaced
+            and accumulators is None
+            and self.red_dims
+            and dim == min(self.red_dims)
+        ):
+            out_offset = self._offset_of(n_in, offsets)
+            init = op.inits[0]
+            if isinstance(init, FloatAttr):
+                acc = fn.float_constant(init.value)
+            else:
+                acc = fn.emit(
+                    riscv.FLdOp(pointers[n_in], out_offset)
+                ).rd
+            final_accs, final_ptrs = self._emit_dim(
+                dim, pointers, [acc], offsets
+            )
+            fn.emit(
+                riscv.FSdOp(final_accs[0], pointers[n_in], out_offset)
+            )
+            return None, final_ptrs
+
+        if dim == self.num_dims:
+            new_accs = self._emit_body(pointers, accumulators, offsets)
+            return new_accs, pointers
+
+        kind = self.plan[dim]
+        if kind[0] == "unroll":
+            accs = accumulators
+            ptrs = pointers
+            for f in range(kind[1]):
+                accs, ptrs = self._emit_dim(
+                    dim + 1, ptrs, accs, {**offsets, dim: f}
+                )
+                if accumulators is None:
+                    accs = None
+            return accs, ptrs
+
+        _, trips, factor = kind
+        if trips == 1:
+            accs = accumulators
+            ptrs = pointers
+            for f in range(factor):
+                accs, ptrs = self._emit_dim(
+                    dim + 1, ptrs, accs, {**offsets, dim: f}
+                )
+                if accumulators is None:
+                    accs = None
+            return accs, ptrs
+
+        # Only pointers that actually move at this dim are loop-carried;
+        # the rest are re-read from the enclosing scope (inner loops
+        # re-initialise from them every iteration), saving registers.
+        carried_idx = [
+            i
+            for i in range(len(pointers))
+            if self.operand_strides[i][dim] != 0
+        ]
+        carried = [pointers[i] for i in carried_idx]
+        if accumulators:
+            carried += accumulators
+        loop = riscv_scf.ForOp(
+            fn.li(0), fn.li(trips), fn.li(1), carried
+        )
+        fn.emit(loop)
+        outer = fn.current_block
+        fn.current_block = loop.body_block
+        body_args = loop.body_iter_args
+        inner_ptrs = list(pointers)
+        for position, i in enumerate(carried_idx):
+            inner_ptrs[i] = body_args[position]
+        inner_accs = (
+            list(body_args[len(carried_idx) :])
+            if accumulators
+            else None
+        )
+        after_ptrs = inner_ptrs
+        for f in range(factor):
+            new_accs, after_ptrs = self._emit_dim(
+                dim + 1,
+                after_ptrs,
+                inner_accs,
+                {**offsets, dim: f} if factor > 1 else offsets,
+            )
+            if inner_accs is not None:
+                inner_accs = new_accs
+        # Compensated back-edge increment: one register per pointer.
+        yields = []
+        for position, i in enumerate(carried_idx):
+            ptr = after_ptrs[i]
+            delta = factor * self.operand_strides[i][dim] - factor * (
+                self.advance[dim + 1][i]
+            )
+            if delta == 0:
+                yields.append(ptr)
+            else:
+                yields.append(fn.emit(riscv.AddiOp(ptr, delta)).rd)
+        if inner_accs:
+            yields += inner_accs
+        fn.emit(riscv_scf.YieldOp(yields))
+        fn.current_block = outer
+        result_ptrs = list(pointers)
+        for position, i in enumerate(carried_idx):
+            result_ptrs[i] = loop.results[position]
+        result_accs = (
+            list(loop.results[len(carried_idx) :])
+            if accumulators
+            else None
+        )
+        return result_accs, result_ptrs
+
+    def _emit_body(
+        self,
+        pointers: list[SSAValue],
+        accumulators: list[SSAValue] | None,
+        offsets: dict[int, int],
+    ) -> list[SSAValue] | None:
+        """One unrolled instance of the scalar computation."""
+        fn = self.fn
+        op = self.op
+        n_in = len(op.inputs)
+        block = op.body_block
+        mapping: dict[int, SSAValue] = {}
+        for i in range(n_in):
+            loaded = fn.emit(
+                riscv.FLdOp(pointers[i], self._offset_of(i, offsets))
+            ).rd
+            mapping[id(block.args[i])] = loaded
+        out_arg = block.args[n_in]
+        out_offset = self._offset_of(n_in, offsets)
+        if accumulators is not None:
+            mapping[id(out_arg)] = accumulators[0]
+        elif out_arg.has_uses:
+            init = op.inits[0]
+            if isinstance(init, FloatAttr):
+                mapping[id(out_arg)] = fn.float_constant(init.value)
+            else:
+                mapping[id(out_arg)] = fn.emit(
+                    riscv.FLdOp(pointers[n_in], out_offset)
+                ).rd
+        results: list[SSAValue] = []
+        for body_op in block.ops:
+            if isinstance(body_op, memref_stream.YieldOp):
+                results = [
+                    self._resolve(mapping, v) for v in body_op.operands
+                ]
+                continue
+            rv_class = ARITH_TO_RV.get(type(body_op))
+            if rv_class is None:
+                raise LoweringError(
+                    f"unsupported body op {body_op.name}"
+                )
+            new_op = fn.emit(
+                rv_class(
+                    *[
+                        self._resolve(mapping, v)
+                        for v in body_op.operands
+                    ]
+                )
+            )
+            mapping[id(body_op.results[0])] = new_op.results[0]
+        if accumulators is not None:
+            return [results[0]]
+        fn.emit(riscv.FSdOp(results[0], pointers[n_in], out_offset))
+        return None
+
+    def _resolve(
+        self, mapping: dict[int, SSAValue], value: SSAValue
+    ) -> SSAValue:
+        if id(value) in mapping:
+            return mapping[id(value)]
+        if id(value) in self.fn.value_map:
+            return self.fn.value_map[id(value)]
+        if isinstance(
+            value.type, (riscv.FloatRegisterType, IntRegisterType)
+        ):
+            return value
+        raise LoweringError("unmapped value in generic body")
+
+
+__all__ = ["LowerGenericToPointerLoopsPass", "UNROLL"]

@@ -1,0 +1,126 @@
+"""Lower ``rv_scf.for`` to labels and branches — after register allocation.
+
+This is the final structural lowering: by the time it runs every value
+holds a concrete register, loop-carried values already share registers
+(allocator item D), so the loop reduces to
+
+    mv   iv, lb
+    bge  iv, ub, end      # zero-trip guard
+  body:
+    ...                   # body, iter values already in place
+    add  iv, iv, step
+    blt  iv, ub, body
+  end:
+
+Running it *after* allocation is the point of the paper's Section 3.3:
+liveness was computed on the structured form, so no basic-block analysis
+is ever needed.
+"""
+
+from __future__ import annotations
+
+from ..dialects import riscv, riscv_cf, riscv_func, riscv_scf
+from ..ir.core import IRError, Operation
+from ..ir.pass_manager import ModulePass
+
+
+class LowerRiscvScfPass(ModulePass):
+    """Flatten all structured for-loops into unstructured control flow."""
+
+    name = "lower-riscv-scf"
+
+    def __init__(self):
+        self._counter = 0
+
+    def _fresh_label(self, stem: str) -> str:
+        self._counter += 1
+        return f".{stem}{self._counter}"
+
+    def run(self, module: Operation) -> None:
+        # Innermost loops first so nested bodies are already flat.
+        changed = True
+        while changed:
+            changed = False
+            for op in list(module.walk()):
+                if isinstance(op, riscv_scf.ForOp) and not any(
+                    isinstance(inner, riscv_scf.ForOp)
+                    for inner in op.walk()
+                    if inner is not op
+                ):
+                    self._lower_loop(op)
+                    changed = True
+                    break
+
+    def _lower_loop(self, loop: riscv_scf.ForOp) -> None:
+        block = loop.parent
+        if block is None:
+            raise IRError("loop not attached")
+        iv_type = loop.induction_variable.type
+        if not iv_type.is_allocated:
+            raise IRError(
+                "lower-riscv-scf requires registers to be allocated first"
+            )
+        body_label = self._fresh_label("for_body")
+        end_label = self._fresh_label("for_end")
+
+        header: list = []
+        # Loop-carried values: result, body arg and yield operand share
+        # one register (allocator item D).  When the init operand kept
+        # its own register (it is live past the loop header) a move
+        # brings the initial value into the loop register.
+        for body_arg, init in zip(loop.body_iter_args, loop.iter_args):
+            if body_arg.type == init.type:
+                body_arg.replace_all_uses_with(init)
+            else:
+                move_class = (
+                    riscv.FMVOp
+                    if isinstance(body_arg.type, riscv.FloatRegisterType)
+                    else riscv.MVOp
+                )
+                move = move_class(init, result_type=body_arg.type)
+                header.append(move)
+                body_arg.replace_all_uses_with(move.rd)
+        header += [
+            iv_init := riscv.MVOp(loop.lower_bound, result_type=iv_type),
+            riscv_cf.BgeOp(
+                iv_init.rd, loop.upper_bound, end_label
+            ),
+            riscv_cf.LabelOp(body_label),
+        ]
+        for op in header:
+            block.insert_op_before(op, loop)
+        loop.induction_variable.replace_all_uses_with(iv_init.rd)
+        # After the loop the final iteration values sit in the loop
+        # registers: forward results to register-typed placeholders.
+        for result, init in zip(loop.results, loop.iter_args):
+            if not result.has_uses:
+                continue
+            if result.type == init.type:
+                result.replace_all_uses_with(init)
+            else:
+                placeholder = riscv.GetRegisterOp(result.type)
+                block.insert_op_after(placeholder, loop)
+                result.replace_all_uses_with(placeholder.result)
+
+        body_block = loop.body_block
+        yield_op = body_block.last_op
+        assert isinstance(yield_op, riscv_scf.YieldOp)
+        yield_op.erase()
+        for op in list(body_block.ops):
+            op.detach()
+            block.insert_op_before(op, loop)
+
+        increment = riscv.AddOp(
+            iv_init.rd, loop.step, result_type=iv_type
+        )
+        footer = [
+            increment,
+            riscv_cf.BltOp(increment.rd, loop.upper_bound, body_label),
+            riscv_cf.LabelOp(end_label),
+        ]
+        for op in footer:
+            block.insert_op_before(op, loop)
+        loop.erase()
+
+
+__all__ = ["LowerRiscvScfPass"]

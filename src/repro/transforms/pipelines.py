@@ -1,0 +1,167 @@
+"""Named compilation pipelines.
+
+``ours`` is the full multi-level flow of paper Section 3.4; the
+``table3-*`` prefixes reproduce the incremental ablation of Table 3; and
+``clang``/``mlir`` are the general-purpose-backend comparison flows of
+Figure 8 (both lower through explicit loops and loads/stores and differ
+only in how much mid-level optimisation happens before the backend).
+"""
+
+from __future__ import annotations
+
+from ..ir.pass_manager import ModulePass, PassManager
+from .allocate_registers_pass import AllocateRegistersPass
+from .canonicalize import CanonicalizePass, EliminateIdentityMovesPass
+from .convert_linalg_to_memref_stream import (
+    ConvertLinalgToMemrefStreamPass,
+)
+from .convert_to_riscv import ConvertToRISCVPass
+from .dce import DeadCodeEliminationPass
+from .fuse_fill import FuseFillPass
+from .fuse_fmadd import FuseFMAddPass
+from .lower_generic_to_loops import LowerGenericToLoopsPass
+from .lower_generic_to_pointer_loops import LowerGenericToPointerLoopsPass
+from .lower_riscv_scf import LowerRiscvScfPass
+from .lower_snitch_stream import LowerSnitchStreamPass
+from .lower_to_snitch import LowerToSnitchPass
+from .scalar_replacement import ScalarReplacementPass
+from .unroll_and_jam import UnrollAndJamPass
+from .verify_streams import VerifyStreamsPass
+
+
+def _snitch_backend() -> list[ModulePass]:
+    """Shared tail: fuse FMAs, lower streams, allocate, flatten loops."""
+    return [
+        VerifyStreamsPass(),
+        FuseFMAddPass(),
+        LowerSnitchStreamPass(),
+        CanonicalizePass(),
+        DeadCodeEliminationPass(),
+        AllocateRegistersPass(),
+        LowerRiscvScfPass(),
+        EliminateIdentityMovesPass(),
+    ]
+
+
+def _loops_backend() -> list[ModulePass]:
+    """Shared tail of the general-purpose (no-Snitch-extension) flows."""
+    return [
+        ConvertToRISCVPass(),
+        FuseFMAddPass(),
+        DeadCodeEliminationPass(),
+        AllocateRegistersPass(),
+        LowerRiscvScfPass(),
+        EliminateIdentityMovesPass(),
+    ]
+
+
+def build_pipeline(
+    name: str,
+    unroll_factor: int | None = None,
+    snapshot: bool = False,
+) -> PassManager:
+    """Construct one of the named pipelines.
+
+    ============== =========================================================
+    name           contents
+    ============== =========================================================
+    ours           full flow: fuse-fill, scalar replacement, unroll-and-jam,
+                   streams + FREP (paper Section 3.4)
+    table3-baseline direct loop lowering, standard RISC-V only
+    table3-streams  + SSR input streams
+    table3-scalar   + scalar replacement of the accumulator
+    table3-frep     + FREP hardware loops
+    table3-fuse     + fill fusion (output becomes a pure write stream)
+    table3-unroll   + unroll-and-jam (== ours)
+    clang          naive loop flow (stands in for the C/Clang baseline)
+    mlir           loop flow with mid-level scalar replacement (stands in
+                   for the upstream-MLIR baseline)
+    ============== =========================================================
+    """
+    front = [ConvertLinalgToMemrefStreamPass()]
+    if name in ("ours", "table3-unroll"):
+        passes = front + [
+            FuseFillPass(),
+            ScalarReplacementPass(),
+            UnrollAndJamPass(unroll_factor),
+            LowerToSnitchPass(use_frep=True),
+            *_snitch_backend(),
+        ]
+    elif name == "table3-baseline":
+        passes = front + [
+            LowerGenericToLoopsPass(),
+            *_loops_backend(),
+        ]
+    elif name == "clang":
+        passes = front + [
+            LowerGenericToPointerLoopsPass(),
+            FuseFMAddPass(),
+            DeadCodeEliminationPass(),
+            AllocateRegistersPass(),
+            LowerRiscvScfPass(),
+            EliminateIdentityMovesPass(),
+        ]
+    elif name == "table3-streams":
+        passes = front + [
+            LowerToSnitchPass(use_frep=False),
+            *_snitch_backend(),
+        ]
+    elif name == "table3-scalar":
+        passes = front + [
+            ScalarReplacementPass(),
+            LowerToSnitchPass(use_frep=False),
+            *_snitch_backend(),
+        ]
+    elif name == "table3-frep":
+        passes = front + [
+            ScalarReplacementPass(),
+            LowerToSnitchPass(use_frep=True),
+            *_snitch_backend(),
+        ]
+    elif name == "table3-fuse":
+        passes = front + [
+            FuseFillPass(),
+            ScalarReplacementPass(),
+            LowerToSnitchPass(use_frep=True),
+            *_snitch_backend(),
+        ]
+    elif name == "mlir":
+        passes = front + [
+            ScalarReplacementPass(),
+            LowerGenericToPointerLoopsPass(),
+            FuseFMAddPass(),
+            DeadCodeEliminationPass(),
+            AllocateRegistersPass(),
+            LowerRiscvScfPass(),
+            EliminateIdentityMovesPass(),
+        ]
+    else:
+        raise ValueError(f"unknown pipeline {name!r}")
+    return PassManager(passes, snapshot=snapshot)
+
+
+#: Pipeline names accepted by :func:`build_pipeline`.
+PIPELINE_NAMES = (
+    "ours",
+    "table3-baseline",
+    "table3-streams",
+    "table3-scalar",
+    "table3-frep",
+    "table3-fuse",
+    "table3-unroll",
+    "clang",
+    "mlir",
+)
+
+#: The Table 3 ablation stages, in the paper's cumulative order.
+TABLE3_STAGES = (
+    ("Baseline", "table3-baseline"),
+    ("+ Streams", "table3-streams"),
+    ("+ Scalar Replacement", "table3-scalar"),
+    ("+ FRep", "table3-frep"),
+    ("+ Fuse Fill", "table3-fuse"),
+    ("+ Unroll-and-Jam", "table3-unroll"),
+)
+
+
+__all__ = ["build_pipeline", "PIPELINE_NAMES", "TABLE3_STAGES"]

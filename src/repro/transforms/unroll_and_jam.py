@@ -1,0 +1,230 @@
+"""Unroll-and-jam: interleave independent reductions (Table 3's last stage).
+
+"Read-after-write conflicts are averted by applying unroll-and-jam, which
+interleaves multiple iterations in the innermost loops, trading off
+increased code size and register pressure for performance. ...the FPU has
+three stages for all operations, so stalls are minimized when the unroll
+factor is at least four" (paper Section 3.4).
+
+The pass splits one parallel dimension ``d`` of bound ``B`` into an outer
+dimension of bound ``B/F`` (kept in place) and a new innermost
+``interleaved`` dimension of bound ``F``, then replicates the body ``F``
+times with block arguments grouped per operand (paper Figure 7).
+"""
+
+from __future__ import annotations
+
+from ..dialects import memref_stream
+from ..ir.affine_map import (
+    AffineDimExpr,
+    AffineMap,
+    expr_uses_dim,
+    substitute_dims,
+)
+from ..ir.attributes import ArrayAttr, DenseIntAttr, StringAttr
+from ..ir.core import Block, IRError, Operation, Region, SSAValue
+from ..ir.pass_manager import ModulePass
+from ..ir.rewriter import PatternRewriter, TypedPattern, apply_patterns
+
+#: Minimum factor that hides the FPU pipeline (3 stages + writeback).
+MIN_FACTOR = 4
+#: Do not interleave more than this (register pressure).
+MAX_FACTOR = 8
+
+
+def select_unroll_factor(bound: int) -> int:
+    """The paper's automatic factor selection for a dimension bound.
+
+    Prefer the smallest divisor of ``bound`` that is at least
+    :data:`MIN_FACTOR` (four hides the FPU pipeline); fully unroll tiny
+    dims; fall back to a smaller divisor (partial stall) or 1.
+    """
+    if bound <= MIN_FACTOR:
+        return bound
+    for factor in range(MIN_FACTOR, MAX_FACTOR + 1):
+        if bound % factor == 0:
+            return factor
+    for factor in (3, 2):
+        if bound % factor == 0:
+            return factor
+    return 1
+
+
+def select_unroll_dim(op: memref_stream.GenericOp) -> int | None:
+    """The parallel dim to interleave: the innermost parallel dim on
+    which every output varies (so the interleaved accumulators are
+    independent)."""
+    out_maps = op.indexing_maps[len(op.inputs) :]
+    num_par = len(op.parallel_dims)
+    for dim in reversed(op.parallel_dims):
+        # Output maps are over the compressed parallel space after
+        # scalar replacement; translate the dim index.
+        out_dim = op.parallel_dims.index(dim)
+        varies = all(
+            any(d != 0 for d in amap.unit_deltas()[out_dim])
+            for amap in out_maps
+        )
+        if varies:
+            return dim
+    return None
+
+
+class _UnrollAndJamPattern(TypedPattern):
+    op_type = memref_stream.GenericOp
+
+    def rewrite(
+        self, op: memref_stream.GenericOp, rewriter: PatternRewriter
+    ) -> None:
+        if not op.reduction_dims or not op.is_scalar_replaced:
+            return  # only reductions suffer accumulator RAW stalls
+        if op.interleave_factor != 1:
+            return  # already interleaved
+        dim = select_unroll_dim(op)
+        if dim is None:
+            return
+        factor = select_unroll_factor(op.bounds[dim])
+        if factor <= 1:
+            return
+        _apply_unroll_and_jam(op, dim, factor)
+        rewriter.changed = True
+
+
+def _apply_unroll_and_jam(
+    op: memref_stream.GenericOp, dim: int, factor: int
+) -> None:
+    bounds = list(op.bounds)
+    if bounds[dim] % factor:
+        raise IRError("unroll factor must divide the dimension bound")
+    num_dims = len(bounds)
+    new_dim = num_dims  # the interleaved dim, appended last
+
+    # Input maps range over the full iteration space.
+    def split_full(amap: AffineMap) -> AffineMap:
+        replacement = AffineDimExpr(dim) * factor + AffineDimExpr(new_dim)
+        exprs = [
+            substitute_dims(e, {dim: replacement}) for e in amap.exprs
+        ]
+        return AffineMap(num_dims + 1, exprs)
+
+    # Output maps range over the compressed (parallel-only) space.
+    out_dim = op.parallel_dims.index(dim)
+    num_par = len(op.parallel_dims)
+
+    def split_output(amap: AffineMap) -> AffineMap:
+        replacement = AffineDimExpr(out_dim) * factor + AffineDimExpr(
+            num_par
+        )
+        exprs = [
+            substitute_dims(e, {out_dim: replacement}) for e in amap.exprs
+        ]
+        return AffineMap(num_par + 1, exprs)
+
+    maps = op.indexing_maps
+    new_maps = [split_full(m) for m in maps[: len(op.inputs)]]
+    new_maps += [split_output(m) for m in maps[len(op.inputs) :]]
+
+    bounds[dim] //= factor
+    bounds.append(factor)
+    kinds = op.iterator_types + ["interleaved"]
+
+    op.attributes["indexing_maps"] = ArrayAttr(new_maps)
+    op.attributes["bounds"] = DenseIntAttr(bounds)
+    op.attributes["iterator_types"] = ArrayAttr(
+        [StringAttr(k) for k in kinds]
+    )
+    _interleave_body(op, factor)
+
+
+def _interleave_body(op: memref_stream.GenericOp, factor: int) -> None:
+    """Replicate the body ``factor`` times, grouping args per operand."""
+    old_block = op.body_block
+    num_operands = len(old_block.args)
+    new_block = Block(
+        [
+            old_block.args[operand].type
+            for operand in range(num_operands)
+            for _ in range(factor)
+        ]
+    )
+    yielded: list[SSAValue] = [None] * (len(op.outputs) * factor)  # type: ignore[list-item]
+    yield_op = old_block.last_op
+    assert isinstance(yield_op, memref_stream.YieldOp)
+    n_in = len(op.inputs)
+    for copy in range(factor):
+        mapping: dict[int, SSAValue] = {}
+        for operand in range(num_operands):
+            mapping[id(old_block.args[operand])] = new_block.args[
+                operand * factor + copy
+            ]
+        for body_op in old_block.ops:
+            if isinstance(body_op, memref_stream.YieldOp):
+                for out_index, value in enumerate(body_op.operands):
+                    yielded[out_index * factor + copy] = mapping.get(
+                        id(value), value
+                    )
+                continue
+            clone = _clone_op(body_op, mapping)
+            new_block.add_op(clone)
+            for old_res, new_res in zip(body_op.results, clone.results):
+                mapping[id(old_res)] = new_res
+    new_block.add_op(memref_stream.YieldOp(yielded))
+    region = op.regions[0]
+    for body_op in list(old_block.ops):
+        body_op.drop_all_references()
+        body_op.detach()
+    region.blocks.clear()
+    old_block.parent = None
+    region.add_block(new_block)
+
+
+def _clone_op(
+    body_op: Operation, mapping: dict[int, SSAValue]
+) -> Operation:
+    """Structurally clone a region-free op, remapping operands."""
+    if body_op.regions:
+        raise IRError("unroll-and-jam: nested regions unsupported in body")
+    clone = object.__new__(type(body_op))
+    Operation.__init__(
+        clone,
+        operands=[mapping.get(id(v), v) for v in body_op.operands],
+        result_types=[r.type for r in body_op.results],
+        attributes=dict(body_op.attributes),
+    )
+    return clone
+
+
+class UnrollAndJamPass(ModulePass):
+    """Interleave reductions to hide the FPU pipeline latency."""
+
+    name = "unroll-and-jam"
+
+    def __init__(self, factor: int | None = None):
+        #: Optional fixed factor (None = automatic selection).
+        self.factor = factor
+
+    def run(self, module: Operation) -> None:
+        if self.factor is None:
+            apply_patterns(module, [_UnrollAndJamPattern()])
+            return
+        for op in list(module.walk()):
+            if not isinstance(op, memref_stream.GenericOp):
+                continue
+            if not op.reduction_dims or not op.is_scalar_replaced:
+                continue
+            if op.interleave_factor != 1:
+                continue
+            dim = select_unroll_dim(op)
+            if dim is None:
+                continue
+            if op.bounds[dim] % self.factor:
+                continue
+            _apply_unroll_and_jam(op, dim, self.factor)
+
+
+__all__ = [
+    "UnrollAndJamPass",
+    "select_unroll_factor",
+    "select_unroll_dim",
+    "MIN_FACTOR",
+    "MAX_FACTOR",
+]

@@ -1,0 +1,113 @@
+"""Tests for assembly emission."""
+
+import pytest
+
+from repro.backend.asm_emitter import (
+    AsmEmissionError,
+    emit_function,
+    emit_module,
+)
+from repro.dialects import riscv, riscv_cf, riscv_func, riscv_scf, riscv_snitch
+from repro.dialects.builtin import ModuleOp
+from repro.dialects.riscv import FloatRegisterType, IntRegisterType
+from repro.ir import Builder
+
+
+def simple_func(name="f"):
+    fn = riscv_func.FuncOp(name, riscv_func.abi_arg_types(["int"]))
+    builder = Builder.at_end(fn.entry_block)
+    return fn, builder
+
+
+class TestEmission:
+    def test_function_header(self):
+        fn, b = simple_func("kernel")
+        b.insert(riscv_func.ReturnOp())
+        asm = emit_function(fn)
+        assert asm.startswith(".globl kernel\nkernel:\n")
+        assert asm.rstrip().endswith("ret")
+
+    def test_instructions_indented(self):
+        fn, b = simple_func()
+        b.insert(riscv.LiOp(3, result_type=IntRegisterType("t0")))
+        b.insert(riscv_func.ReturnOp())
+        lines = emit_function(fn).splitlines()
+        assert "    li t0, 3" in lines
+
+    def test_labels_not_indented(self):
+        fn, b = simple_func()
+        b.insert(riscv_cf.LabelOp(".loop"))
+        b.insert(riscv_func.ReturnOp())
+        assert "\n.loop:\n" in emit_function(fn)
+
+    def test_get_register_invisible(self):
+        fn, b = simple_func()
+        b.insert(riscv.GetRegisterOp(IntRegisterType("zero")))
+        b.insert(riscv_func.ReturnOp())
+        asm = emit_function(fn)
+        assert "zero" not in asm  # nothing printed for it
+
+    def test_multi_function_module(self):
+        fn1, b1 = simple_func("first")
+        b1.insert(riscv_func.ReturnOp())
+        fn2, b2 = simple_func("second")
+        b2.insert(riscv_func.ReturnOp())
+        asm = emit_module(ModuleOp([fn1, fn2]))
+        assert ".globl first" in asm and ".globl second" in asm
+        assert asm.index("first") < asm.index("second")
+
+    def test_frep_emits_body_count(self):
+        fn, b = simple_func()
+        count = b.insert(
+            riscv.LiOp(9, result_type=IntRegisterType("t0"))
+        ).rd
+        frep = riscv_snitch.FrepOuter(count)
+        x = b.insert(
+            riscv.GetRegisterOp(FloatRegisterType("ft0"))
+        ).result
+        body = Builder.at_end(frep.body_block)
+        body.insert(
+            riscv.FAddDOp(x, x, result_type=FloatRegisterType("ft1"))
+        )
+        body.insert(riscv_snitch.FrepYieldOp())
+        b.insert(frep)
+        b.insert(riscv_func.ReturnOp())
+        asm = emit_function(fn)
+        assert "    frep.o t0, 1, 0, 0\n    fadd.d ft1, ft0, ft0" in asm
+
+    def test_unlowered_loop_rejected(self):
+        fn, b = simple_func()
+        zero = b.insert(
+            riscv.GetRegisterOp(IntRegisterType("zero"))
+        ).result
+        loop = riscv_scf.ForOp(zero, zero, zero)
+        loop.body_block.add_op(riscv_scf.YieldOp())
+        b.insert(loop)
+        b.insert(riscv_func.ReturnOp())
+        with pytest.raises(AsmEmissionError):
+            emit_function(fn)
+
+    def test_empty_frep_rejected(self):
+        fn, b = simple_func()
+        count = b.insert(
+            riscv.LiOp(1, result_type=IntRegisterType("t0"))
+        ).rd
+        frep = riscv_snitch.FrepOuter(count)
+        Builder.at_end(frep.body_block).insert(
+            riscv_snitch.FrepYieldOp()
+        )
+        b.insert(frep)
+        b.insert(riscv_func.ReturnOp())
+        with pytest.raises(AsmEmissionError):
+            emit_function(fn)
+
+    def test_emitted_asm_reassembles(self):
+        """Everything the emitter prints, the assembler accepts."""
+        from repro import api, kernels
+        from repro.snitch.assembler import assemble
+
+        for pipeline in ("ours", "clang", "table3-streams"):
+            module, _ = kernels.matmul(1, 8, 4)
+            compiled = api.compile_linalg(module, pipeline=pipeline)
+            program = assemble(compiled.asm)
+            assert program.instructions

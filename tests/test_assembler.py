@@ -1,0 +1,126 @@
+"""Tests for the assembler (asm text -> program)."""
+
+import pytest
+
+from repro.snitch.assembler import (
+    AssemblerError,
+    SUPPORTED_MNEMONICS,
+    assemble,
+)
+
+
+class TestParsing:
+    def test_rdrsrs(self):
+        prog = assemble("add t0, t1, t2")
+        inst = prog.instructions[0]
+        assert inst.mnemonic == "add"
+        assert inst.rd == "t0"
+        assert inst.sources == ("t1", "t2")
+
+    def test_load_store_operands(self):
+        prog = assemble("fld fa0, -8(a1)\nfsd fa0, 16(a2)")
+        load, store = prog.instructions
+        assert load.rd == "fa0"
+        assert load.sources == ("a1",)
+        assert load.imm == -8
+        assert store.sources == ("fa0", "a2")
+        assert store.imm == 16
+
+    def test_fma(self):
+        inst = assemble("fmadd.d fa0, ft0, ft1, fa0").instructions[0]
+        assert inst.sources == ("ft0", "ft1", "fa0")
+
+    def test_branch(self):
+        inst = assemble("blt t0, t1, .loop").instructions[0]
+        assert inst.target == ".loop"
+
+    def test_frep(self):
+        inst = assemble("frep.o t2, 5, 0, 0").instructions[0]
+        assert inst.sources == ("t2",)
+        assert inst.frep_length == 5
+
+    def test_csr(self):
+        inst = assemble("csrsi ssrcfg, 1").instructions[0]
+        assert inst.csr == "ssrcfg"
+        assert inst.imm == 1
+
+    def test_scfgwi(self):
+        inst = assemble("scfgwi t0, 24").instructions[0]
+        assert inst.sources == ("t0",)
+        assert inst.imm == 24
+
+    def test_vfmac_reads_rd(self):
+        inst = assemble("vfmac.s ft3, ft0, ft1").instructions[0]
+        assert inst.rd == "ft3"
+        assert inst.sources == ("ft3", "ft0", "ft1")
+
+    def test_vfsum_reads_rd(self):
+        inst = assemble("vfsum.s ft4, ft3").instructions[0]
+        assert inst.sources == ("ft4", "ft3")
+
+
+class TestLabelsAndLayout:
+    def test_labels_resolve(self):
+        prog = assemble(
+            """
+            main:
+                li t0, 1
+            loop:
+                addi t0, t0, -1
+                bnez t0, loop
+                ret
+            """
+        )
+        assert prog.entry("main") == 0
+        assert prog.entry("loop") == 1
+
+    def test_dotted_local_labels(self):
+        """Labels like .for_body1 must not be mistaken for directives."""
+        prog = assemble(".for_body1:\n    ret")
+        assert prog.entry(".for_body1") == 0
+
+    def test_directives_skipped(self):
+        prog = assemble(".globl f\nf:\n    ret")
+        assert len(prog.instructions) == 1
+
+    def test_comments_stripped(self):
+        prog = assemble("li t0, 1  # load the count")
+        assert prog.instructions[0].imm == 1
+
+    def test_label_on_same_line(self):
+        prog = assemble("start: li t0, 5")
+        assert prog.entry("start") == 0
+        assert prog.instructions[0].mnemonic == "li"
+
+    def test_static_counts(self):
+        prog = assemble("li t0, 1\nli t1, 2\nret")
+        counts = prog.static_counts()
+        assert counts["li"] == 2
+        assert counts["ret"] == 1
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError):
+            assemble("frobnicate t0")
+
+    def test_unknown_register(self):
+        with pytest.raises(AssemblerError):
+            assemble("add t0, t1, t9")
+
+    def test_bad_operand_count(self):
+        with pytest.raises(AssemblerError):
+            assemble("add t0, t1")
+
+    def test_bad_memory_operand(self):
+        with pytest.raises(AssemblerError):
+            assemble("fld fa0, t1")
+
+    def test_undefined_label_lookup(self):
+        prog = assemble("ret")
+        with pytest.raises(AssemblerError):
+            prog.entry("nope")
+
+    def test_supported_mnemonics_exported(self):
+        assert "fmadd.d" in SUPPORTED_MNEMONICS
+        assert "frep.o" in SUPPORTED_MNEMONICS

@@ -1,0 +1,141 @@
+"""Tests for the memref_stream bridge dialect (paper Figure 7)."""
+
+import pytest
+
+from repro.dialects import arith, memref, memref_stream
+from repro.dialects.stream import ReadableStreamType, WritableStreamType
+from repro.ir import AffineMap, Block, IRError, MemRefType, Region, f64
+
+
+def _buffers():
+    x = memref.AllocOp(MemRefType(f64, (200,)))
+    y = memref.AllocOp(MemRefType(f64, (5, 200)))
+    z = memref.AllocOp(MemRefType(f64, (5,)))
+    return x.result, y.result, z.result
+
+
+def _matvec_generic(scalar_replaced=True, interleave=1):
+    """The paper's running matvec example at the memref_stream level."""
+    x, y, z = _buffers()
+    bounds = [5, 200]
+    kinds = ["parallel", "reduction"]
+    x_map = AffineMap.from_callable(2, lambda d0, d1: (d1,))
+    y_map = AffineMap.from_callable(2, lambda d0, d1: (d0, d1))
+    if scalar_replaced:
+        z_map = AffineMap.from_callable(1, lambda d0: (d0,))
+    else:
+        z_map = AffineMap.from_callable(2, lambda d0, d1: (d0,))
+    block = Block([f64] * 3)
+    prod = arith.MulfOp(block.args[0], block.args[1])
+    acc = arith.AddfOp(block.args[2], prod.result)
+    block.add_ops([prod, acc, memref_stream.YieldOp([acc.result])])
+    return memref_stream.GenericOp(
+        inputs=[x, y],
+        outputs=[z],
+        indexing_maps=[x_map, y_map, z_map],
+        iterator_types=kinds,
+        bounds=bounds,
+        body=Region([block]),
+    )
+
+
+class TestGeneric:
+    def test_explicit_bounds(self):
+        g = _matvec_generic()
+        assert g.bounds == (5, 200)
+
+    def test_reduction_and_parallel_dims(self):
+        g = _matvec_generic()
+        assert g.reduction_dims == [1]
+        assert g.parallel_dims == [0]
+
+    def test_scalar_replaced_detection(self):
+        assert _matvec_generic(scalar_replaced=True).is_scalar_replaced
+        assert not _matvec_generic(
+            scalar_replaced=False
+        ).is_scalar_replaced
+
+    def test_default_inits_from_memory(self):
+        g = _matvec_generic()
+        assert g.inits == [memref_stream.FROM_MEMORY]
+
+    def test_interleave_factor_default(self):
+        assert _matvec_generic().interleave_factor == 1
+
+    def test_verify_bounds_length(self):
+        g = _matvec_generic()
+        from repro.ir.attributes import DenseIntAttr
+
+        g.attributes["bounds"] = DenseIntAttr([5])
+        with pytest.raises(IRError):
+            g.verify_()
+
+    def test_verify_body_arity_with_interleaving(self):
+        g = _matvec_generic()
+        from repro.ir.attributes import ArrayAttr, DenseIntAttr, StringAttr
+
+        # Claim an interleaved dim of 4 without widening the body.
+        g.attributes["bounds"] = DenseIntAttr([5, 200, 4])
+        g.attributes["iterator_types"] = ArrayAttr(
+            [
+                StringAttr("parallel"),
+                StringAttr("reduction"),
+                StringAttr("interleaved"),
+            ]
+        )
+        from repro.ir import AffineMap as AM
+
+        g.attributes["indexing_maps"] = ArrayAttr(
+            [
+                AM.from_callable(3, lambda a, b, c: (b,)),
+                AM.from_callable(3, lambda a, b, c: (a, b)),
+                AM.from_callable(2, lambda a, c: (a,)),
+            ]
+        )
+        with pytest.raises(IRError):
+            g.verify_()
+
+
+class TestStridePatternAttr:
+    def test_byte_strides_and_offset(self):
+        y_type = MemRefType(f64, (5, 200))
+        pattern = memref_stream.StridePatternAttr(
+            ub=__import__(
+                "repro.ir.attributes", fromlist=["DenseIntAttr"]
+            ).DenseIntAttr([5, 200]),
+            index_map=AffineMap.identity(2),
+        )
+        strides, offset = pattern.byte_strides_and_offset(y_type)
+        assert strides == (1600, 8)
+        assert offset == 0
+
+    def test_access_sequence_row_major(self):
+        from repro.ir.attributes import DenseIntAttr
+
+        pattern = memref_stream.StridePatternAttr(
+            ub=DenseIntAttr([2, 3]),
+            index_map=AffineMap.identity(2),
+        )
+        seq = pattern.access_sequence(MemRefType(f64, (2, 3)))
+        assert seq == [0, 8, 16, 24, 32, 40]
+
+
+class TestStreamingRegion:
+    def test_body_for_types(self):
+        region, block = memref_stream.StreamingRegionOp.body_for(
+            [f64, f64], [f64]
+        )
+        assert isinstance(block.args[0].type, ReadableStreamType)
+        assert isinstance(block.args[2].type, WritableStreamType)
+
+    def test_read_write_type_checks(self):
+        region, block = memref_stream.StreamingRegionOp.body_for(
+            [f64], [f64]
+        )
+        read = memref_stream.ReadOp(block.args[0])
+        assert read.result.type == f64
+        memref_stream.WriteOp(read.result, block.args[1])
+        with pytest.raises(IRError):
+            memref_stream.ReadOp(block.args[1])  # writable stream
+        with pytest.raises(IRError):
+            memref_stream.WriteOp(read.result, block.args[0])

@@ -1,0 +1,208 @@
+"""Tests for the standard dialects: arith, func, scf, memref, linalg."""
+
+import pytest
+
+from repro.dialects import arith, builtin, func, linalg, memref, scf
+from repro.ir import (
+    AffineMap,
+    Block,
+    FloatAttr,
+    IRError,
+    MemRefType,
+    Region,
+    f64,
+    index,
+    verify,
+)
+
+
+class TestArith:
+    def test_constant_int(self):
+        c = arith.ConstantOp.from_int(3)
+        assert c.value.value == 3
+        assert c.result.type == index
+
+    def test_constant_float(self):
+        c = arith.ConstantOp.from_float(1.5, f64)
+        assert isinstance(c.value, FloatAttr)
+        assert c.result.type == f64
+
+    def test_binary_op_types(self):
+        c = arith.ConstantOp.from_float(2.0, f64)
+        add = arith.AddfOp(c.result, c.result)
+        assert add.result.type == f64
+        assert add.lhs is c.result and add.rhs is c.result
+
+    def test_mixed_types_rejected(self):
+        a = arith.ConstantOp.from_float(1.0, f64)
+        b = arith.ConstantOp.from_int(1)
+        bad = arith.AddfOp(a.result, b.result)
+        with pytest.raises(IRError):
+            bad.verify_()
+
+    def test_float_binary_registry(self):
+        assert arith.FLOAT_BINARY_OPS["arith.mulf"] is arith.MulfOp
+        assert len(arith.FLOAT_BINARY_OPS) == 6
+
+
+class TestFunc:
+    def test_signature(self):
+        fn = func.FuncOp("k", [MemRefType(f64, (4,)), f64])
+        assert fn.sym_name == "k"
+        assert len(fn.args) == 2
+        assert fn.args[1].type == f64
+
+    def test_entry_args_match_signature(self):
+        fn = func.FuncOp("k", [f64])
+        fn.entry_block.args[0].type = index
+        with pytest.raises(IRError):
+            fn.verify_()
+
+
+class TestScf:
+    def _loop(self, iter_args=()):
+        lb = arith.ConstantOp.from_int(0)
+        ub = arith.ConstantOp.from_int(10)
+        step = arith.ConstantOp.from_int(1)
+        loop = scf.ForOp(lb.result, ub.result, step.result, iter_args)
+        return [lb, ub, step, loop], loop
+
+    def test_structure(self):
+        ops, loop = self._loop()
+        loop.body_block.add_op(scf.YieldOp())
+        assert loop.induction_variable.type == index
+        assert loop.iter_args == ()
+        verify(builtin.ModuleOp(ops))
+
+    def test_iter_args_carried(self):
+        c = arith.ConstantOp.from_float(0.0, f64)
+        ops, loop = self._loop([c.result])
+        body_acc = loop.body_iter_args[0]
+        add = arith.AddfOp(body_acc, body_acc)
+        loop.body_block.add_ops([add, scf.YieldOp([add.result])])
+        assert loop.results[0].type == f64
+        verify(builtin.ModuleOp([c] + ops))
+
+    def test_yield_arity_checked(self):
+        c = arith.ConstantOp.from_float(0.0, f64)
+        ops, loop = self._loop([c.result])
+        loop.body_block.add_op(scf.YieldOp())  # missing value
+        with pytest.raises(IRError):
+            loop.verify_()
+
+    def test_missing_terminator(self):
+        ops, loop = self._loop()
+        with pytest.raises(IRError):
+            loop.verify_()
+
+
+class TestMemref:
+    def test_load_store_roundtrip_types(self):
+        buf_type = MemRefType(f64, (4, 4))
+        alloc = memref.AllocOp(buf_type)
+        i = arith.ConstantOp.from_int(0)
+        load = memref.LoadOp(alloc.result, [i.result, i.result])
+        assert load.result.type == f64
+        store = memref.StoreOp(load.result, alloc.result, [i.result, i.result])
+        assert store.value is load.result
+
+    def test_load_rank_checked(self):
+        alloc = memref.AllocOp(MemRefType(f64, (4, 4)))
+        i = arith.ConstantOp.from_int(0)
+        with pytest.raises(IRError):
+            memref.LoadOp(alloc.result, [i.result]).verify_()
+
+    def test_store_type_checked(self):
+        alloc = memref.AllocOp(MemRefType(f64, (4,)))
+        i = arith.ConstantOp.from_int(0)
+        bad = memref.StoreOp(i.result, alloc.result, [i.result])
+        with pytest.raises(IRError):
+            bad.verify_()
+
+    def test_load_requires_memref(self):
+        i = arith.ConstantOp.from_int(0)
+        with pytest.raises(IRError):
+            memref.LoadOp(i.result, [])
+
+
+def _matmul_generic(m=2, k=3, n=4):
+    a = memref.AllocOp(MemRefType(f64, (m, k)))
+    b = memref.AllocOp(MemRefType(f64, (k, n)))
+    c = memref.AllocOp(MemRefType(f64, (m, n)))
+    block = Block([f64, f64, f64])
+    prod = arith.MulfOp(block.args[0], block.args[1])
+    acc = arith.AddfOp(block.args[2], prod.result)
+    block.add_ops([prod, acc, linalg.YieldOp([acc.result])])
+    generic = linalg.GenericOp(
+        inputs=[a.result, b.result],
+        outputs=[c.result],
+        indexing_maps=[
+            AffineMap.from_callable(3, lambda i, j, kk: (i, kk)),
+            AffineMap.from_callable(3, lambda i, j, kk: (kk, j)),
+            AffineMap.from_callable(3, lambda i, j, kk: (i, j)),
+        ],
+        iterator_types=["parallel", "parallel", "reduction"],
+        body=Region([block]),
+    )
+    return [a, b, c, generic], generic
+
+
+class TestLinalg:
+    def test_generic_segments(self):
+        ops, generic = _matmul_generic()
+        assert len(generic.inputs) == 2
+        assert len(generic.outputs) == 1
+
+    def test_iteration_bounds_matmul(self):
+        ops, generic = _matmul_generic(2, 3, 4)
+        assert generic.iteration_bounds() == (2, 4, 3)
+
+    def test_iteration_bounds_window(self):
+        """Pooling-style window: bounds inferred via sliding relation."""
+        image = memref.AllocOp(MemRefType(f64, (6, 10)))
+        out = memref.AllocOp(MemRefType(f64, (4, 8)))
+        block = Block([f64, f64])
+        fmax = arith.MaximumfOp(block.args[1], block.args[0])
+        block.add_ops([fmax, linalg.YieldOp([fmax.result])])
+        generic = linalg.GenericOp(
+            inputs=[image.result],
+            outputs=[out.result],
+            indexing_maps=[
+                AffineMap.from_callable(
+                    4, lambda i, j, ki, kj: (i + ki, j + kj)
+                ),
+                AffineMap.from_callable(4, lambda i, j, ki, kj: (i, j)),
+            ],
+            iterator_types=[
+                "parallel", "parallel", "reduction", "reduction",
+            ],
+            body=Region([block]),
+        )
+        assert generic.iteration_bounds() == (4, 8, 3, 3)
+
+    def test_verify_catches_bad_iterator(self):
+        ops, generic = _matmul_generic()
+        from repro.ir.attributes import ArrayAttr, StringAttr
+
+        generic.attributes["iterator_types"] = ArrayAttr(
+            [StringAttr("sideways")] * 3
+        )
+        with pytest.raises(IRError):
+            generic.verify_()
+
+    def test_verify_map_count(self):
+        ops, generic = _matmul_generic()
+        from repro.ir.attributes import ArrayAttr
+
+        generic.attributes["indexing_maps"] = ArrayAttr(
+            generic.indexing_maps[:2]
+        )
+        with pytest.raises(IRError):
+            generic.verify_()
+
+    def test_fill_requires_matching_scalar(self):
+        buf = memref.AllocOp(MemRefType(f64, (4,)))
+        bad = arith.ConstantOp.from_int(0)
+        fill = linalg.FillOp(bad.result, buf.result)
+        with pytest.raises(IRError):
+            fill.verify_()

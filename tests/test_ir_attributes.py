@@ -1,0 +1,144 @@
+"""Unit tests for attributes and types."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir import (
+    ArrayAttr,
+    BoolAttr,
+    DenseIntAttr,
+    FloatAttr,
+    FloatType,
+    FunctionType,
+    IntAttr,
+    IntegerType,
+    MemRefType,
+    StringAttr,
+    SymbolRefAttr,
+    f32,
+    f64,
+    i32,
+    index,
+)
+
+
+class TestScalarTypes:
+    def test_integer_type_str(self):
+        assert str(IntegerType(32)) == "i32"
+        assert str(IntegerType(1)) == "i1"
+
+    def test_float_type_str(self):
+        assert str(f64) == "f64"
+        assert str(f32) == "f32"
+
+    def test_index_type_str(self):
+        assert str(index) == "index"
+
+    def test_float_byte_width(self):
+        assert f64.byte_width == 8
+        assert f32.byte_width == 4
+
+    def test_equality_and_hash(self):
+        assert IntegerType(32) == i32
+        assert hash(FloatType(64)) == hash(f64)
+        assert f64 != f32
+
+    def test_types_usable_as_dict_keys(self):
+        table = {f64: "double", f32: "single"}
+        assert table[FloatType(64)] == "double"
+
+
+class TestDataAttributes:
+    def test_int_attr(self):
+        assert IntAttr(7).value == 7
+        assert str(IntAttr(-3)) == "-3"
+
+    def test_bool_attr_str(self):
+        assert str(BoolAttr(True)) == "true"
+        assert str(BoolAttr(False)) == "false"
+
+    def test_float_attr_carries_type(self):
+        attr = FloatAttr(1.5, f32)
+        assert attr.value == 1.5
+        assert attr.type == f32
+
+    def test_string_attr(self):
+        assert StringAttr("hello").value == "hello"
+        assert str(StringAttr("x")) == '"x"'
+
+    def test_symbol_ref(self):
+        assert str(SymbolRefAttr("matmul")) == "@matmul"
+
+    def test_array_attr_iteration(self):
+        arr = ArrayAttr([IntAttr(1), IntAttr(2)])
+        assert len(arr) == 2
+        assert [a.value for a in arr] == [1, 2]
+        assert arr[1] == IntAttr(2)
+
+    def test_array_attr_equality(self):
+        assert ArrayAttr([IntAttr(1)]) == ArrayAttr([IntAttr(1)])
+
+    def test_dense_int_attr(self):
+        dense = DenseIntAttr([3, 4, 5])
+        assert list(dense) == [3, 4, 5]
+        assert dense[0] == 3
+        assert len(dense) == 3
+        assert str(dense) == "[3, 4, 5]"
+
+    @given(st.lists(st.integers(-1000, 1000), max_size=8))
+    def test_dense_int_roundtrip(self, values):
+        dense = DenseIntAttr(values)
+        assert list(dense) == values
+        assert DenseIntAttr(values) == dense
+
+
+class TestMemRefType:
+    def test_str(self):
+        assert str(MemRefType(f64, (5, 200))) == "memref<5x200xf64>"
+        assert str(MemRefType(f64, ())) == "memref<f64>"
+
+    def test_rank_and_count(self):
+        t = MemRefType(f64, (5, 200))
+        assert t.rank == 2
+        assert t.element_count == 1000
+        assert t.byte_size == 8000
+
+    def test_row_major_strides(self):
+        t = MemRefType(f64, (5, 200))
+        assert t.strides() == (200, 1)
+        assert t.byte_strides() == (1600, 8)
+
+    def test_strides_3d(self):
+        t = MemRefType(f32, (2, 3, 4))
+        assert t.strides() == (12, 4, 1)
+        assert t.byte_strides() == (48, 16, 4)
+
+    def test_scalar_memref(self):
+        t = MemRefType(f64, ())
+        assert t.rank == 0
+        assert t.element_count == 1
+        assert t.strides() == ()
+
+    def test_element_byte_width_f32(self):
+        assert MemRefType(f32, (4,)).element_byte_width == 4
+
+    @given(
+        st.lists(st.integers(1, 16), min_size=1, max_size=4)
+    )
+    def test_stride_invariant(self, shape):
+        """Row-major invariant: stride[i] == stride[i+1] * shape[i+1]."""
+        t = MemRefType(f64, shape)
+        strides = t.strides()
+        for i in range(len(shape) - 1):
+            assert strides[i] == strides[i + 1] * shape[i + 1]
+        assert strides[-1] == 1
+
+
+class TestFunctionType:
+    def test_construction(self):
+        ft = FunctionType([f64, f64], [f64])
+        assert ft.inputs == (f64, f64)
+        assert ft.results == (f64,)
+
+    def test_str(self):
+        assert str(FunctionType([f64], [])) == "(f64) -> ()"

@@ -1,0 +1,201 @@
+"""Unit tests for the SSA core: operations, blocks, regions, use-def."""
+
+import pytest
+
+from repro.ir import (
+    Block,
+    BlockArgument,
+    IRError,
+    Operation,
+    OpResult,
+    Region,
+    f64,
+    single_block_region,
+)
+
+
+def make_op(operands=(), results=0):
+    return Operation(
+        operands=list(operands), result_types=[f64] * results
+    )
+
+
+class TestUseDef:
+    def test_result_identity(self):
+        op = make_op(results=2)
+        assert isinstance(op.results[0], OpResult)
+        assert op.results[0].op is op
+        assert op.results[1].index == 1
+
+    def test_operand_records_use(self):
+        producer = make_op(results=1)
+        consumer = make_op(operands=[producer.results[0]])
+        assert producer.results[0].has_uses
+        assert consumer in producer.results[0].users
+
+    def test_multiple_uses(self):
+        producer = make_op(results=1)
+        value = producer.results[0]
+        make_op(operands=[value, value])
+        assert len(value.uses) == 2
+
+    def test_set_operand_moves_use(self):
+        a = make_op(results=1)
+        b = make_op(results=1)
+        consumer = make_op(operands=[a.results[0]])
+        consumer.set_operand(0, b.results[0])
+        assert not a.results[0].has_uses
+        assert b.results[0].has_uses
+        assert consumer.operands[0] is b.results[0]
+
+    def test_replace_all_uses_with(self):
+        a = make_op(results=1)
+        b = make_op(results=1)
+        c1 = make_op(operands=[a.results[0]])
+        c2 = make_op(operands=[a.results[0], a.results[0]])
+        a.results[0].replace_all_uses_with(b.results[0])
+        assert not a.results[0].has_uses
+        assert len(b.results[0].uses) == 3
+        assert c1.operands[0] is b.results[0]
+        assert all(v is b.results[0] for v in c2.operands)
+
+    def test_rauw_self_is_noop(self):
+        a = make_op(results=1)
+        make_op(operands=[a.results[0]])
+        a.results[0].replace_all_uses_with(a.results[0])
+        assert len(a.results[0].uses) == 1
+
+    def test_non_ssa_operand_rejected(self):
+        with pytest.raises(IRError):
+            Operation(operands=["not a value"])
+
+
+class TestBlocks:
+    def test_add_and_order(self):
+        block = Block()
+        a, b = make_op(), make_op()
+        block.add_ops([a, b])
+        assert block.ops == (a, b)
+        assert block.first_op is a
+        assert block.last_op is b
+
+    def test_block_args(self):
+        block = Block([f64, f64])
+        assert len(block.args) == 2
+        assert isinstance(block.args[0], BlockArgument)
+        assert block.args[1].index == 1
+        assert block.args[0].block is block
+
+    def test_insert_before_after(self):
+        block = Block()
+        a, c = make_op(), make_op()
+        block.add_ops([a, c])
+        b = make_op()
+        block.insert_op_before(b, c)
+        assert block.ops == (a, b, c)
+        d = make_op()
+        block.insert_op_after(d, c)
+        assert block.ops == (a, b, c, d)
+
+    def test_double_attach_rejected(self):
+        block1, block2 = Block(), Block()
+        op = make_op()
+        block1.add_op(op)
+        with pytest.raises(IRError):
+            block2.add_op(op)
+
+    def test_index_of_missing(self):
+        block = Block()
+        with pytest.raises(IRError):
+            block.index_of(make_op())
+
+    def test_add_arg(self):
+        block = Block()
+        arg = block.add_arg(f64, "acc")
+        assert arg.name_hint == "acc"
+        assert block.args == [arg]
+
+
+class TestRegionsAndNesting:
+    def test_single_block_region(self):
+        op = make_op()
+        region = single_block_region([op])
+        assert region.block.ops == (op,)
+
+    def test_parent_chain(self):
+        inner = make_op()
+        parent = Operation(regions=[single_block_region([inner])])
+        assert inner.parent_op is parent
+        assert inner.parent_block is parent.body.block
+
+    def test_parent_of_type(self):
+        class Outer(Operation):
+            name = "test.outer"
+
+        inner = make_op()
+        mid = Operation(regions=[single_block_region([inner])])
+        outer = Outer(regions=[single_block_region([mid])])
+        assert inner.parent_of_type(Outer) is outer
+        assert inner.parent_of_type(Block) is None
+
+    def test_is_ancestor_of(self):
+        inner = make_op()
+        outer = Operation(regions=[single_block_region([inner])])
+        assert outer.is_ancestor_of(inner)
+        assert not inner.is_ancestor_of(outer)
+
+    def test_walk_preorder(self):
+        inner = make_op()
+        mid = Operation(regions=[single_block_region([inner])])
+        sibling = make_op()
+        top = Operation(
+            regions=[single_block_region([mid, sibling])]
+        )
+        assert list(top.walk()) == [top, mid, inner, sibling]
+
+    def test_region_double_attach(self):
+        region = Region([Block()])
+        Operation(regions=[region])
+        with pytest.raises(IRError):
+            Operation(regions=[region])
+
+    def test_body_requires_single_region(self):
+        op = make_op()
+        with pytest.raises(IRError):
+            op.body
+
+
+class TestErasure:
+    def test_erase_drops_uses(self):
+        producer = make_op(results=1)
+        block = Block()
+        consumer = make_op(operands=[producer.results[0]])
+        block.add_op(consumer)
+        consumer.erase()
+        assert not producer.results[0].has_uses
+
+    def test_erase_with_live_uses_rejected(self):
+        producer = make_op(results=1)
+        block = Block()
+        block.add_op(producer)
+        make_op(operands=[producer.results[0]])
+        with pytest.raises(IRError):
+            producer.erase()
+
+    def test_erase_nested_drops_inner_uses(self):
+        producer = make_op(results=1)
+        inner = make_op(operands=[producer.results[0]])
+        outer = Operation(regions=[single_block_region([inner])])
+        block = Block()
+        block.add_op(outer)
+        outer.erase()
+        assert not producer.results[0].has_uses
+
+    def test_detach_keeps_uses(self):
+        producer = make_op(results=1)
+        block = Block()
+        consumer = make_op(operands=[producer.results[0]])
+        block.add_op(consumer)
+        consumer.detach()
+        assert consumer.parent is None
+        assert producer.results[0].has_uses

@@ -1,0 +1,120 @@
+"""Coverage for remaining IR utility surfaces: rewriter block surgery,
+typed walks, value naming, insert points."""
+
+import pytest
+
+from repro.dialects import arith, builtin, func, riscv_cf
+from repro.ir import (
+    Block,
+    Builder,
+    InsertPoint,
+    Operation,
+    PatternRewriter,
+    f64,
+    print_op,
+    single_block_region,
+)
+from repro.ir.printer import value_name
+
+
+class TestInsertPoints:
+    def test_after(self):
+        block = Block()
+        first = arith.ConstantOp.from_int(1)
+        block.add_op(first)
+        point = InsertPoint.after(first)
+        second = arith.ConstantOp.from_int(2)
+        block.insert_op(point.index, second)
+        assert block.ops == (first, second)
+
+
+class TestRewriterSurgery:
+    def test_insert_after(self):
+        a = arith.ConstantOp.from_int(1)
+        module = builtin.ModuleOp([a])
+        rewriter = PatternRewriter(a)
+        b = arith.ConstantOp.from_int(2)
+        c = arith.ConstantOp.from_int(3)
+        rewriter.insert_after([b, c], a)
+        assert module.block.ops == (a, b, c)
+
+    def test_insert_at_start(self):
+        a = arith.ConstantOp.from_int(1)
+        module = builtin.ModuleOp([a])
+        rewriter = PatternRewriter(a)
+        head = arith.ConstantOp.from_int(0)
+        rewriter.insert_at_start(module.block, head)
+        assert module.block.ops[0] is head
+
+    def test_inline_block_before(self):
+        inner_block = Block([f64])
+        use = arith.AddfOp(inner_block.args[0], inner_block.args[0])
+        inner_block.add_op(use)
+        wrapper = Operation(regions=[single_block_region([])])
+        wrapper.regions[0].blocks[0] = inner_block
+        inner_block.parent = wrapper.regions[0]
+
+        outer = Block()
+        supplied = arith.ConstantOp.from_float(1.0, f64)
+        anchor = arith.ConstantOp.from_int(9)
+        outer.add_ops([supplied, anchor])
+        rewriter = PatternRewriter(anchor)
+        rewriter.inline_block_before(
+            inner_block, anchor, [supplied.result]
+        )
+        assert use.parent is outer
+        assert use.operands[0] is supplied.result
+
+    def test_inline_arity_checked(self):
+        from repro.ir import IRError
+
+        block = Block([f64])
+        anchor = arith.ConstantOp.from_int(1)
+        parent = Block()
+        parent.add_op(anchor)
+        rewriter = PatternRewriter(anchor)
+        with pytest.raises(IRError):
+            rewriter.inline_block_before(block, anchor, [])
+
+
+class TestWalks:
+    def test_walk_type_filters(self):
+        c1 = arith.ConstantOp.from_int(1)
+        c2 = arith.ConstantOp.from_int(2)
+        add = arith.AddiOp(c1.result, c2.result)
+        module = builtin.ModuleOp([c1, c2, add])
+        constants = list(module.walk_type(arith.ConstantOp))
+        assert constants == [c1, c2]
+        assert list(module.walk_type(arith.MulfOp)) == []
+
+
+class TestValueName:
+    def test_hinted(self):
+        c = arith.ConstantOp.from_int(1)
+        c.results[0].name_hint = "count"
+        assert value_name(c.results[0]) == "%count"
+
+    def test_block_argument(self):
+        block = Block([f64])
+        assert value_name(block.args[0]) == "%arg0"
+
+    def test_anonymous(self):
+        c = arith.ConstantOp.from_int(1)
+        assert value_name(c.results[0]) == "%?"
+
+
+class TestBranchPrinting:
+    def test_beq_bne(self):
+        from repro.dialects import riscv
+        from repro.dialects.riscv import IntRegisterType
+
+        t0 = riscv.GetRegisterOp(IntRegisterType("t0")).result
+        t1 = riscv.GetRegisterOp(IntRegisterType("t1")).result
+        assert (
+            riscv_cf.BeqOp(t0, t1, "x").assembly_line()
+            == "beq t0, t1, x"
+        )
+        assert (
+            riscv_cf.BneOp(t0, t1, "x").assembly_line()
+            == "bne t0, t1, x"
+        )

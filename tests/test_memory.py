@@ -1,0 +1,82 @@
+"""Tests for the TCDM model."""
+
+import numpy as np
+import pytest
+
+from repro.snitch.memory import TCDM, TCDMError
+
+
+class TestAllocation:
+    def test_alignment(self):
+        mem = TCDM()
+        a = mem.allocate(10, align=8)
+        b = mem.allocate(8, align=8)
+        assert a % 8 == 0 and b % 8 == 0
+        assert b >= a + 10
+
+    def test_exhaustion(self):
+        mem = TCDM(size=64)
+        with pytest.raises(TCDMError):
+            mem.allocate(128)
+
+    def test_address_zero_never_allocated(self):
+        assert TCDM().allocate(8) != 0
+
+    def test_reset(self):
+        mem = TCDM()
+        first = mem.allocate(16)
+        mem.reset_allocator()
+        assert mem.allocate(16) == first
+
+
+class TestTypedAccess:
+    def test_f64_roundtrip(self):
+        mem = TCDM()
+        mem.store_f64(16, 3.25)
+        assert mem.load_f64(16) == 3.25
+
+    def test_f32_roundtrip(self):
+        mem = TCDM()
+        mem.store_f32(16, 1.5)
+        assert mem.load_f32(16) == 1.5
+
+    def test_u32_u64(self):
+        mem = TCDM()
+        mem.store_u32(8, 0xDEADBEEF)
+        assert mem.load_u32(8) == 0xDEADBEEF
+        mem.store_u64(16, 2**50)
+        assert mem.load_u64(16) == 2**50
+
+    def test_bounds_checked(self):
+        mem = TCDM(size=32)
+        with pytest.raises(TCDMError):
+            mem.load_f64(32)
+        with pytest.raises(TCDMError):
+            mem.store_f64(-8, 0.0)
+
+
+class TestNumpyBridge:
+    def test_array_roundtrip_2d(self):
+        mem = TCDM()
+        data = np.arange(12, dtype=np.float64).reshape(3, 4)
+        base = mem.allocate(data.nbytes)
+        mem.write_array(base, data)
+        out = mem.read_array(base, (3, 4), np.float64)
+        assert np.array_equal(out, data)
+
+    def test_array_roundtrip_f32(self):
+        mem = TCDM()
+        data = np.arange(6, dtype=np.float32)
+        base = mem.allocate(data.nbytes)
+        mem.write_array(base, data)
+        assert np.array_equal(
+            mem.read_array(base, (6,), np.float32), data
+        )
+
+    def test_row_major_layout(self):
+        """Element [i][j] sits at base + (i*cols + j) * 8."""
+        mem = TCDM()
+        data = np.arange(6, dtype=np.float64).reshape(2, 3)
+        base = mem.allocate(data.nbytes)
+        mem.write_array(base, data)
+        assert mem.load_f64(base + (1 * 3 + 2) * 8) == data[1, 2]

@@ -1,0 +1,237 @@
+"""Reproduction assertions for the paper's headline claims.
+
+Each test pins one claim from the evaluation (Section 4) to a concrete,
+checkable property of this implementation.  Thresholds are set slightly
+below the paper's reported values to absorb the cycle-model substitution
+(see DESIGN.md Section 2).
+"""
+
+import numpy as np
+import pytest
+
+from repro import api, kernels
+from repro.kernels import lowlevel
+from repro.transforms.pipelines import TABLE3_STAGES
+
+
+def compile_and_run(builder, sizes, pipeline="ours", seed=3):
+    module, spec = builder(*sizes)
+    compiled = api.compile_linalg(module, pipeline=pipeline)
+    result = api.run_kernel(compiled, spec.random_arguments(seed=seed))
+    return spec, compiled, result
+
+
+class TestRQ1LowLevelExpressiveness:
+    """RQ1: the assembly-level dialects express peak-tuned kernels."""
+
+    def test_sum32_high_utilization(self):
+        module, spec = lowlevel.lowlevel_sum_f32(40, 40)
+        compiled = api.compile_lowlevel(module, spec.name)
+        result = api.run_kernel(compiled, spec.random_arguments())
+        assert result.trace.fpu_utilization > 0.9  # paper: 95%
+
+    def test_relu32_high_utilization(self):
+        module, spec = lowlevel.lowlevel_relu_f32(40, 40)
+        compiled = api.compile_lowlevel(module, spec.name)
+        result = api.run_kernel(compiled, spec.random_arguments())
+        assert result.trace.fpu_utilization > 0.9
+
+    def test_matmul_t32_throughput(self):
+        """Paper: MatMulT reaches 74% util but only 2.45 FLOPs/cycle
+        due to extra vector packing instructions."""
+        module, spec = lowlevel.lowlevel_matmul_t_f32(64, 40)
+        compiled = api.compile_lowlevel(module, spec.name)
+        result = api.run_kernel(compiled, spec.random_arguments())
+        assert 0.6 < result.trace.fpu_utilization < 1.0
+        assert 2.0 < result.trace.throughput < 4.0
+
+    def test_constant_overhead(self):
+        """Fig 9 bottom: cycle-count overhead is size-independent."""
+        overheads = []
+        for m in (8, 16, 24, 32, 40):
+            spec, _, result = compile_and_run(
+                kernels.sum_kernel, (m, 40)
+            )
+            overheads.append(result.trace.cycles - spec.min_cycles)
+        assert len(set(overheads)) == 1
+
+
+class TestRQ2SpillFreeAllocation:
+    """RQ2: spill-free allocation fits every kernel (Table 2)."""
+
+    TABLE2_F64 = [
+        (kernels.fill, (4, 4)),
+        (kernels.relu, (4, 4)),
+        (kernels.sum_kernel, (4, 4)),
+        (kernels.max_pool3x3, (4, 4)),
+        (kernels.sum_pool3x3, (4, 4)),
+        (kernels.conv3x3, (4, 4)),
+        (kernels.matmul, (4, 16, 8)),
+    ]
+
+    @pytest.mark.parametrize(
+        "builder,sizes",
+        TABLE2_F64,
+        ids=[b.__name__ for b, _ in TABLE2_F64],
+    )
+    def test_within_register_budget(self, builder, sizes):
+        """All kernels allocate within 20 FP / 15 int caller-saved
+        registers — with several to spare (paper Section 4.3)."""
+        _, compiled, _ = compile_and_run(builder, sizes)
+        fp, integer = compiled.register_usage()
+        assert fp <= 20
+        assert integer <= 15
+
+    def test_simple_kernels_use_few_registers(self):
+        """Paper Table 2: Fill needs 3 FP / 3 int registers."""
+        _, compiled, _ = compile_and_run(kernels.fill, (4, 4))
+        fp, integer = compiled.register_usage()
+        assert fp <= 4
+        assert integer <= 5
+
+    def test_spare_registers_remain(self):
+        """"maintaining several spare" — at least 5 of each kind."""
+        for builder, sizes in self.TABLE2_F64:
+            _, compiled, _ = compile_and_run(builder, sizes)
+            fp, integer = compiled.register_usage()
+            assert fp <= 15, builder.__name__
+            assert integer <= 13, builder.__name__
+
+
+class TestRQ3CompilerPerformance:
+    """RQ3: the DSL-to-asm compiler reaches near-peak utilization."""
+
+    def test_parallel_kernels_above_90(self):
+        """Fig 10: Sum/Fill/ReLU approach 100% as sizes grow."""
+        for builder in (kernels.sum_kernel, kernels.fill, kernels.relu):
+            _, _, result = compile_and_run(builder, (20, 20))
+            assert result.trace.fpu_utilization > 0.9, builder.__name__
+
+    def test_reduction_kernels_in_70_80_band(self):
+        """Fig 10: Conv/Pool utilization sits in the 70-80% band."""
+        for builder in (
+            kernels.conv3x3,
+            kernels.max_pool3x3,
+            kernels.sum_pool3x3,
+        ):
+            _, _, result = compile_and_run(builder, (20, 20))
+            assert 0.65 < result.trace.fpu_utilization < 0.9, (
+                builder.__name__
+            )
+
+    def test_matmul_above_90(self):
+        """Table 3 final stage: >90% FPU occupancy."""
+        _, _, result = compile_and_run(kernels.matmul, (1, 200, 5))
+        assert result.trace.fpu_utilization > 0.9
+
+    def test_baselines_plateau(self):
+        """Fig 10: flows without SSR/FREP stay below 50%."""
+        for pipeline in ("clang", "mlir"):
+            for builder, sizes in [
+                (kernels.sum_kernel, (20, 20)),
+                (kernels.max_pool3x3, (20, 20)),
+                (kernels.matmul, (1, 200, 5)),
+            ]:
+                _, _, result = compile_and_run(
+                    builder, sizes, pipeline=pipeline
+                )
+                assert result.trace.fpu_utilization < 0.5
+
+    def test_utilization_grows_with_size(self):
+        """Fig 10: utilization increases monotonically with width."""
+        utils = []
+        for n in (4, 8, 12, 16, 20):
+            _, _, result = compile_and_run(kernels.sum_kernel, (20, n))
+            utils.append(result.trace.fpu_utilization)
+        assert utils == sorted(utils)
+
+
+class TestTable3Ablation:
+    """The incremental optimization study on MatMul 1x200 x 200x5."""
+
+    @pytest.fixture(scope="class")
+    def stages(self):
+        rows = {}
+        for label, pipeline in TABLE3_STAGES:
+            spec, compiled, result = compile_and_run(
+                kernels.matmul, (1, 200, 5), pipeline=pipeline
+            )
+            rows[label] = (compiled, result)
+        return rows
+
+    def test_all_stages_correct(self, stages):
+        module, spec = kernels.matmul(1, 200, 5)
+        args = spec.random_arguments(seed=3)
+        expected = spec.reference(*args)[2]
+        for label, pipeline in TABLE3_STAGES:
+            compiled = stages[label][0]
+            result = api.run_kernel(compiled, args)
+            np.testing.assert_allclose(
+                result.arrays[2], expected, atol=1e-9, err_msg=label
+            )
+
+    def test_memory_op_elision(self, stages):
+        """Loads: 3000 -> 1000 -> 5 -> 5 -> 0 -> 0 (paper Table 3)."""
+        loads = [
+            stages[label][1].trace.loads for label, _ in TABLE3_STAGES
+        ]
+        stores = [
+            stages[label][1].trace.stores for label, _ in TABLE3_STAGES
+        ]
+        assert loads == [3000, 1000, 5, 5, 0, 0]
+        assert stores == [1005, 1000, 5, 5, 0, 0]
+
+    def test_cycles_strictly_improve_overall(self, stages):
+        cycles = [
+            stages[label][1].trace.cycles for label, _ in TABLE3_STAGES
+        ]
+        assert cycles[0] > 8 * cycles[-1]  # paper: ~36x end to end
+        assert cycles == sorted(cycles, reverse=True)
+
+    def test_occupancy_milestones(self, stages):
+        """Baseline ~2.5%, +Streams mid-single-digits-to-teens,
+        final stage >90% (paper Table 3)."""
+        occupancy = {
+            label: stages[label][1].trace.fpu_utilization
+            for label, _ in TABLE3_STAGES
+        }
+        assert occupancy["Baseline"] < 0.06
+        assert occupancy["+ Streams"] < 0.2
+        assert 0.15 < occupancy["+ Scalar Replacement"] < 0.35
+        assert occupancy["+ Unroll-and-Jam"] > 0.9
+
+    def test_fmadd_constant_across_stages(self, stages):
+        """Every stage executes exactly 1000 FMAs (the real work)."""
+        for label, _ in TABLE3_STAGES:
+            assert stages[label][1].trace.fmadd == 1000, label
+
+    def test_frep_counts(self, stages):
+        """+FRep emits two hardware loops (fill + matmul); after fill
+        fusion only one remains.  The paper's Table 3 FRep column is a
+        *static* count over the emitted assembly."""
+        frep_static = {
+            label: stages[label][0]
+            .program.static_counts()
+            .get("frep.o", 0)
+            for label, _ in TABLE3_STAGES
+        }
+        assert frep_static["Baseline"] == 0
+        assert frep_static["+ FRep"] == 2
+        assert frep_static["+ Fuse Fill"] == 1
+        assert frep_static["+ Unroll-and-Jam"] == 1
+
+
+class TestFig11Sweep:
+    def test_roofline_fraction_grows(self):
+        """Fig 11: throughput fraction grows along both N and K."""
+        def fraction(n, k):
+            _, _, result = compile_and_run(kernels.matmul, (1, k, n))
+            return result.trace.throughput / 2.0
+
+        assert fraction(4, 4) < fraction(16, 16) < fraction(48, 48)
+        assert fraction(48, 48) > 0.9  # paper: >90% past the frontier
+
+    def test_small_sizes_setup_dominated(self):
+        """Fig 11: smallest shapes never reach 80% of peak."""
+        _, _, result = compile_and_run(kernels.matmul, (1, 4, 4))
+        assert result.trace.throughput / 2.0 < 0.8

@@ -1,0 +1,93 @@
+"""Property-based end-to-end tests: random shapes and data through the
+full compiler against the numpy oracles."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro import api, kernels
+
+#: Keep simulated workloads small enough for quick property runs.
+SMALL = st.integers(1, 10)
+EVEN_SMALL = st.integers(1, 6).map(lambda v: 2 * v)
+
+
+def check(builder, sizes, seed):
+    module, spec = builder(*sizes)
+    compiled = api.compile_linalg(module, pipeline="ours")
+    args = spec.random_arguments(seed=seed)
+    result = api.run_kernel(compiled, args)
+    expected = spec.reference(*args)
+    for got, want in zip(result.arrays, expected):
+        if want is not None:
+            np.testing.assert_allclose(got, want, atol=1e-9, rtol=1e-11)
+    return result
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=SMALL, m=SMALL, seed=st.integers(0, 2**16))
+def test_sum_any_shape(n, m, seed):
+    check(kernels.sum_kernel, (n, m), seed)
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=SMALL, m=SMALL, seed=st.integers(0, 2**16))
+def test_relu_any_shape(n, m, seed):
+    check(kernels.relu, (n, m), seed)
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=SMALL, m=SMALL, seed=st.integers(0, 2**16))
+def test_fill_any_shape(n, m, seed):
+    check(kernels.fill, (n, m), seed)
+
+
+@settings(max_examples=20, deadline=None)
+@given(m=st.integers(1, 4), k=SMALL, n=SMALL, seed=st.integers(0, 2**16))
+def test_matmul_any_shape(m, k, n, seed):
+    check(kernels.matmul, (m, k, n), seed)
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(1, 6), m=st.integers(1, 6), seed=st.integers(0, 2**16))
+def test_conv_any_shape(n, m, seed):
+    check(kernels.conv3x3, (n, m), seed)
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(1, 6), m=st.integers(1, 6), seed=st.integers(0, 2**16))
+def test_pools_any_shape(n, m, seed):
+    check(kernels.max_pool3x3, (n, m), seed)
+    check(kernels.sum_pool3x3, (n, m), seed)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    m=st.integers(1, 3),
+    k=st.integers(1, 8),
+    n=st.integers(1, 8),
+    seed=st.integers(0, 2**16),
+)
+def test_matmul_baseline_agrees_with_ours(m, k, n, seed):
+    """Differential testing: two independent lowerings, same numbers."""
+    module_a, spec = kernels.matmul(m, k, n)
+    module_b, _ = kernels.matmul(m, k, n)
+    args = spec.random_arguments(seed=seed)
+    ours = api.run_kernel(
+        api.compile_linalg(module_a, "ours"), args
+    ).arrays[2]
+    base = api.run_kernel(
+        api.compile_linalg(module_b, "table3-baseline"), args
+    ).arrays[2]
+    np.testing.assert_allclose(ours, base, atol=1e-9)
+
+
+@settings(max_examples=10, deadline=None)
+@given(n=st.integers(1, 8), seed=st.integers(0, 2**16))
+def test_matvec_matches_matmul(n, seed):
+    """matvec(rows, cols) and matmul(rows, cols, 1)-style consistency."""
+    module, spec = kernels.matvec(n, 12)
+    args = spec.random_arguments(seed=seed)
+    result = api.run_kernel(api.compile_linalg(module, "ours"), args)
+    np.testing.assert_allclose(
+        result.arrays[2], args[1] @ args[0], atol=1e-9
+    )

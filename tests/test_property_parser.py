@@ -1,0 +1,130 @@
+"""Property tests: printer/parser round-trips over generated IR."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dialects import arith, builtin, func
+from repro.ir import (
+    AffineConstantExpr,
+    AffineDimExpr,
+    AffineMap,
+    ArrayAttr,
+    Block,
+    DenseIntAttr,
+    FloatAttr,
+    IntAttr,
+    MemRefType,
+    Parser,
+    Region,
+    StringAttr,
+    f32,
+    f64,
+    parse_op,
+    print_op,
+    verify,
+)
+
+# -- attribute strategies -----------------------------------------------------
+
+int_attrs = st.integers(-10**6, 10**6).map(IntAttr)
+float_attrs = st.floats(
+    allow_nan=False,
+    allow_infinity=False,
+    min_value=-1e6,
+    max_value=1e6,
+).map(lambda v: FloatAttr(v, f64))
+string_attrs = st.text(
+    alphabet="abcdefgh_123", min_size=0, max_size=8
+).map(StringAttr)
+dense_attrs = st.lists(
+    st.integers(-1000, 1000), min_size=1, max_size=5
+).map(DenseIntAttr)
+
+
+def affine_maps():
+    def build(num_dims, parts):
+        expr = AffineConstantExpr(0)
+        for pick, coeff in parts:
+            expr = expr + AffineDimExpr(pick % num_dims) * coeff
+        return AffineMap(num_dims, (expr,))
+
+    return st.builds(
+        build,
+        st.integers(1, 4),
+        st.lists(
+            st.tuples(st.integers(0, 3), st.integers(0, 50)),
+            min_size=1,
+            max_size=3,
+        ),
+    )
+
+
+simple_attrs = st.one_of(
+    int_attrs, float_attrs, string_attrs, dense_attrs, affine_maps()
+)
+attrs = st.one_of(
+    simple_attrs,
+    st.lists(string_attrs, min_size=1, max_size=3).map(ArrayAttr),
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(attr=attrs)
+def test_attribute_str_parse_roundtrip(attr):
+    parsed = Parser(str(attr)).parse_attribute()
+    assert parsed == attr
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    shape=st.lists(st.integers(1, 64), min_size=0, max_size=3),
+    wide=st.booleans(),
+)
+def test_memref_type_roundtrip(shape, wide):
+    t = MemRefType(f64 if wide else f32, shape)
+    assert Parser(str(t)).parse_type() == t
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    values=st.lists(
+        st.floats(
+            allow_nan=False,
+            allow_infinity=False,
+            min_value=-100,
+            max_value=100,
+        ),
+        min_size=1,
+        max_size=6,
+    )
+)
+def test_module_roundtrip_with_arith_chain(values):
+    """Random constant/add chains survive print -> parse -> print."""
+    block_ops = []
+    ssa = []
+    for v in values:
+        c = arith.ConstantOp.from_float(v, f64)
+        block_ops.append(c)
+        ssa.append(c.result)
+    for i in range(len(ssa) - 1):
+        add = arith.AddfOp(ssa[i], ssa[i + 1])
+        block_ops.append(add)
+        ssa.append(add.result)
+    module = builtin.ModuleOp(block_ops)
+    text = print_op(module)
+    parsed = parse_op(text)
+    verify(parsed)
+    assert print_op(parsed) == text
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    num_args=st.integers(0, 3),
+    name=st.text(alphabet="abcxyz", min_size=1, max_size=6),
+)
+def test_function_roundtrip(num_args, name):
+    fn = func.FuncOp(name, [f64] * num_args)
+    fn.entry_block.add_op(func.ReturnOp())
+    module = builtin.ModuleOp([fn])
+    text = print_op(module)
+    parsed = parse_op(text)
+    assert print_op(parsed) == text

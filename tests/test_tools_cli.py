@@ -1,0 +1,68 @@
+"""Tests for the command-line kernel compiler."""
+
+import pytest
+
+from repro.tools import kernel_compiler
+
+
+class TestArgumentParsing:
+    def test_defaults(self):
+        args = kernel_compiler.build_argument_parser().parse_args(
+            ["matmul", "1", "8", "4"]
+        )
+        assert args.pipeline == "ours"
+        assert not args.run
+        assert args.sizes == [1, 8, 4]
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(SystemExit):
+            kernel_compiler.build_argument_parser().parse_args(
+                ["fft", "8"]
+            )
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(SystemExit):
+            kernel_compiler.compile_kernel(
+                "matmul", [8], "ours", None, False
+            )
+
+
+class TestMain:
+    def test_compile_only(self, capsys):
+        assert kernel_compiler.main(["sum", "4", "4"]) == 0
+        out = capsys.readouterr().out
+        assert ".globl sum" in out
+        assert "frep.o" in out
+
+    def test_run_and_validate(self, capsys):
+        code = kernel_compiler.main(
+            ["matmul", "1", "16", "4", "--run", "--no-asm"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "numpy check:     OK" in out
+        assert "fpu utilization" in out
+
+    def test_compare_pipelines(self, capsys):
+        code = kernel_compiler.main(
+            ["relu", "8", "8", "--compare", "clang", "--no-asm"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "faster than" in out
+
+    def test_show_stages(self, capsys):
+        code = kernel_compiler.main(
+            ["matvec", "5", "20", "--show-stages", "--no-asm"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "after convert-linalg-to-memref-stream" in out
+        assert "memref_stream.generic" in out
+
+    def test_unroll_override(self, capsys):
+        kernel_compiler.main(
+            ["matmul", "1", "16", "4", "--unroll-factor", "2"]
+        )
+        out = capsys.readouterr().out
+        assert out.count("fmadd.d") == 2

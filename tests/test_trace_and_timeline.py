@@ -1,0 +1,92 @@
+"""Tests for the performance counters and the instruction timeline."""
+
+import numpy as np
+import pytest
+
+from repro.snitch import SnitchMachine, TCDM, assemble
+from repro.snitch.machine import format_timeline
+from repro.snitch.trace import ExecutionTrace
+
+
+class TestExecutionTrace:
+    def test_derived_metrics(self):
+        trace = ExecutionTrace(
+            cycles=200, fpu_arith_cycles=100, flops=150
+        )
+        assert trace.fpu_utilization == 0.5
+        assert trace.throughput == 0.75
+        assert trace.occupancy_percent() == 50.0
+
+    def test_zero_cycles_safe(self):
+        trace = ExecutionTrace()
+        assert trace.fpu_utilization == 0.0
+        assert trace.throughput == 0.0
+
+    def test_histogram_recording(self):
+        trace = ExecutionTrace()
+        trace.record("fadd.d")
+        trace.record("fadd.d")
+        trace.record("li")
+        assert trace.histogram == {"fadd.d": 2, "li": 1}
+
+    def test_summary_mentions_key_metrics(self):
+        trace = ExecutionTrace(cycles=10, fpu_arith_cycles=5, flops=5)
+        text = trace.summary()
+        assert "cycles=10" in text and "util=50.0%" in text
+
+
+class TestTimeline:
+    def _machine(self, asm, record=True):
+        program = assemble("main:\n" + asm + "\nret")
+        return SnitchMachine(program, record_timeline=record)
+
+    def test_disabled_by_default(self):
+        machine = self._machine("li t0, 1", record=False)
+        machine.run("main")
+        assert machine.timeline == []
+
+    def test_records_issue_cycles(self):
+        machine = self._machine("li t0, 1\nli t1, 2\nadd t2, t0, t1")
+        machine.run("main")
+        cycles = [cycle for cycle, _, _ in machine.timeline]
+        assert cycles == [0, 1, 2]
+        units = {unit for _, unit, _ in machine.timeline}
+        assert units == {"int"}
+
+    def test_fpu_issue_separate_unit(self):
+        machine = self._machine(
+            "fadd.d fa0, fa1, fa2\nfadd.d fa3, fa1, fa2"
+        )
+        machine.run("main")
+        fpu_rows = [r for r in machine.timeline if r[1] == "fpu"]
+        assert len(fpu_rows) == 2
+
+    def test_frep_body_replay_visible(self):
+        machine = self._machine(
+            "li t0, 2\nfrep.o t0, 1, 0, 0\nfadd.d fa0, fa1, fa2"
+        )
+        machine.run("main")
+        fadds = [r for r in machine.timeline if "fadd.d" in r[2]]
+        assert len(fadds) == 3  # replayed 3 times by the sequencer
+
+    def test_raw_stall_visible_in_timeline(self):
+        machine = self._machine(
+            "fadd.d fa0, fa0, fa1\nfadd.d fa0, fa0, fa1"
+        )
+        machine.run("main")
+        first, second = [r for r in machine.timeline if r[1] == "fpu"]
+        from repro.snitch.machine import FP_LATENCY
+
+        assert second[0] - first[0] == FP_LATENCY
+
+    def test_format_timeline(self):
+        machine = self._machine("li t0, 1\nfadd.d fa0, fa1, fa2")
+        machine.run("main")
+        text = format_timeline(machine)
+        assert "int" in text and "fpu" in text
+        assert "li t0, 1" in text
+
+    def test_format_limit(self):
+        machine = self._machine("li t0, 1\nli t1, 1\nli t2, 1")
+        machine.run("main")
+        assert len(format_timeline(machine, limit=2).splitlines()) == 2
