@@ -5,7 +5,16 @@ linalg-level kernel through the three flows of paper Figure 8 and
 measures FPU utilization on the simulated Snitch core.  The paper's
 qualitative result: "ours" climbs towards ~90%+ with size while the
 general-purpose flows plateau well below 50%.
+
+The compared flows come from ``REPRO_FIG10_FLOWS`` when set — a
+``;``-separated list of ``label=pipeline`` entries (a bare ``label``
+means the named pipeline of that name), where ``pipeline`` is a named
+pipeline or any raw textual pipeline spec.  For example::
+
+    REPRO_FIG10_FLOWS='ours;nofrep=convert-linalg-to-memref-stream,lower-to-snitch{use-frep=false},verify-streams,fuse-fmadd,lower-snitch-stream,canonicalize,dce,allocate-registers,lower-riscv-scf,eliminate-identity-moves'
 """
+
+import os
 
 import numpy as np
 import pytest
@@ -13,9 +22,34 @@ import pytest
 from repro import api, kernels
 from benchmarks.conftest import make_report_fixture
 
+
+def _parse_flows(text: str) -> dict[str, str]:
+    flows = {}
+    for entry in text.split(";"):
+        entry = entry.strip()
+        if not entry:
+            continue  # tolerate trailing/duplicate separators
+        label, _, pipeline = entry.partition("=")
+        if label in flows:
+            raise ValueError(
+                f"duplicate flow label {label!r} in REPRO_FIG10_FLOWS"
+            )
+        flows[label] = pipeline or label
+    if not flows:
+        raise ValueError("REPRO_FIG10_FLOWS names no flows")
+    return flows
+
+
+#: Label -> pipeline name-or-spec compared by this benchmark.
+FLOWS = _parse_flows(
+    os.environ.get("REPRO_FIG10_FLOWS", "ours;clang;mlir")
+)
+
 report = make_report_fixture(
     "fig10_compiler.txt",
-    f"{'kernel':<22} {'ours':>6} {'clang':>6} {'mlir':>6}   (FPU util)",
+    f"{'kernel':<22} "
+    + " ".join(f"{label:>6}" for label in FLOWS)
+    + "   (FPU util)",
 )
 
 SIZES = (4, 8, 12, 16, 20)
@@ -45,8 +79,8 @@ def run_flow(builder, shape, pipeline):
 def record(benchmark, report, label, builder, shape):
     def once():
         return {
-            pipeline: run_flow(builder, shape, pipeline)
-            for pipeline in ("ours", "clang", "mlir")
+            flow_label: run_flow(builder, shape, pipeline)
+            for flow_label, pipeline in FLOWS.items()
         }
 
     traces = benchmark.pedantic(once, rounds=1, iterations=1)
@@ -56,10 +90,11 @@ def record(benchmark, report, label, builder, shape):
     benchmark.extra_info.update(
         {name: round(value, 4) for name, value in utils.items()}
     )
-    benchmark.extra_info["cycles_ours"] = traces["ours"].cycles
+    first = next(iter(FLOWS))
+    benchmark.extra_info[f"cycles_{first}"] = traces[first].cycles
     report.row(
-        f"{label:<22} {utils['ours']:>6.1%} {utils['clang']:>6.1%} "
-        f"{utils['mlir']:>6.1%}"
+        f"{label:<22} "
+        + " ".join(f"{utils[name]:>6.1%}" for name in FLOWS)
     )
 
 

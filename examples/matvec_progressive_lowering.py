@@ -13,6 +13,7 @@ Run with:  python examples/matvec_progressive_lowering.py
 import numpy as np
 
 from repro import api, kernels
+from repro.compiler import Compiler
 
 #: Stages worth showing (the rest are plumbing).
 INTERESTING = (
@@ -29,9 +30,9 @@ INTERESTING = (
 
 def main() -> None:
     module, spec = kernels.matvec(5, 200)
-    compiled = api.compile_linalg(
-        module, pipeline="ours", snapshots=True
-    )
+    compiler = Compiler("ours", snapshots=True)
+    print(f"# pipeline: {compiler.pipeline_spec}")
+    compiled = compiler.compile(module)
     for name, text in compiled.snapshots:
         if name not in INTERESTING:
             continue
@@ -43,6 +44,11 @@ def main() -> None:
     print("final assembly")
     print("=" * 72)
     print(compiled.asm)
+    print("=" * 72)
+    print("compile-time per pass")
+    print("=" * 72)
+    for name, seconds in compiled.pass_timings:
+        print(f"{name:<34} {seconds * 1e3:7.2f} ms")
 
     arguments = spec.random_arguments(seed=0)
     result = api.run_kernel(compiled, arguments)

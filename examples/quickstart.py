@@ -22,7 +22,9 @@ def main() -> None:
 
     # 2. Compile through the full pipeline: fill fusion, scalar
     #    replacement, unroll-and-jam, stream + FREP lowering, spill-free
-    #    register allocation, assembly emission.
+    #    register allocation, assembly emission.  ``pipeline`` also
+    #    accepts raw pass-spec strings — see
+    #    examples/compose_pipeline.py.
     compiled = api.compile_linalg(module, pipeline="ours")
     print("=== generated Snitch assembly ===")
     print(compiled.asm)

@@ -5,10 +5,15 @@ Public entry points:
 
 * :mod:`repro.kernels` — the Table 1 micro-kernel suite (linalg level
   and handwritten dialect level);
+* :mod:`repro.compiler` — the composable :class:`~repro.compiler.Compiler`
+  facade (named pipelines, textual pipeline specs, pass managers);
 * :mod:`repro.api` — ``compile_linalg`` / ``compile_lowlevel`` /
   ``run_kernel``;
+* :mod:`repro.transforms.registry` — the pass registry behind the
+  textual pipeline-spec language of :mod:`repro.ir.pipeline_spec`;
 * :mod:`repro.transforms.pipelines` — the named compilation flows
-  ("ours", the Table 3 ablation stages, the "clang"/"mlir" baselines);
+  ("ours", the Table 3 ablation stages, the "clang"/"mlir" baselines),
+  declared as spec strings;
 * :mod:`repro.snitch` — the Snitch core simulation substrate;
 * :mod:`repro.ir`, :mod:`repro.dialects`, :mod:`repro.backend` — the IR
   framework, dialect definitions and backend components.
@@ -17,5 +22,8 @@ Public entry points:
 __version__ = "1.0.0"
 
 from . import api, ir, kernels  # noqa: F401
+from .compiler import CompiledKernel, Compiler  # noqa: F401
 
-__all__ = ["api", "ir", "kernels", "__version__"]
+__all__ = [
+    "api", "ir", "kernels", "CompiledKernel", "Compiler", "__version__",
+]

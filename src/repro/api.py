@@ -12,46 +12,15 @@ Typical use (see ``examples/quickstart.py``)::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from .backend.asm_emitter import emit_module
-from .backend.register_allocator import count_used_registers
-from .dialects import riscv_func
+from .compiler import CompiledKernel, Compiler
 from .dialects.builtin import ModuleOp
-from .ir.verifier import verify
-from .snitch.assembler import Program, assemble
 from .snitch.machine import SnitchMachine
 from .snitch.memory import TCDM
 from .snitch.trace import ExecutionTrace
-from .transforms.pipelines import build_pipeline
-
-
-@dataclass
-class CompiledKernel:
-    """A kernel compiled down to Snitch assembly."""
-
-    #: The lowered module (rv-level IR, registers allocated).
-    module: ModuleOp
-    #: The emitted assembly text.
-    asm: str
-    #: Entry symbol.
-    entry: str
-    #: (pass name, IR text) snapshots if requested at compile time.
-    snapshots: list[tuple[str, str]] = field(default_factory=list)
-
-    @property
-    def program(self) -> Program:
-        """The assembled program (parsed once per access)."""
-        return assemble(self.asm)
-
-    def register_usage(self) -> tuple[int, int]:
-        """(FP, integer) registers used — the paper's Table 2 metric."""
-        for op in self.module.walk():
-            if isinstance(op, riscv_func.FuncOp):
-                return count_used_registers(op)
-        raise ValueError("no function in compiled module")
 
 
 @dataclass
@@ -70,26 +39,16 @@ def compile_linalg(
     unroll_factor: int | None = None,
     snapshots: bool = False,
 ) -> CompiledKernel:
-    """Run a named pipeline over a linalg-level module and emit assembly."""
-    manager = build_pipeline(
-        pipeline, unroll_factor=unroll_factor, snapshot=snapshots
-    )
-    verify(module)
-    manager.run(module)
-    entry = None
-    for op in module.walk():
-        if isinstance(op, riscv_func.FuncOp):
-            entry = op.sym_name
-            break
-    if entry is None:
-        raise ValueError("pipeline produced no rv_func.func")
-    asm = emit_module(module)
-    return CompiledKernel(
-        module=module,
-        asm=asm,
-        entry=entry,
-        snapshots=list(manager.snapshots),
-    )
+    """Compile a linalg-level module and emit assembly.
+
+    ``pipeline`` is a named pipeline or any textual pipeline spec —
+    a thin wrapper over :class:`repro.compiler.Compiler`.
+    """
+    return Compiler(
+        pipeline,
+        unroll_factor=unroll_factor,
+        snapshots=snapshots,
+    ).compile(module)
 
 
 def compile_lowlevel(module: ModuleOp, entry: str) -> CompiledKernel:
@@ -97,32 +56,12 @@ def compile_lowlevel(module: ModuleOp, entry: str) -> CompiledKernel:
 
     The module already contains ``rv_func``/``snitch_stream``/
     ``rv_snitch`` IR, possibly partially register-allocated; only the
-    backend stages run: stream lowering, register allocation, loop
-    flattening, emission.
+    backend stages of the ``"lowlevel"`` named pipeline run: stream
+    lowering, register allocation, loop flattening, emission.
     """
-    from .transforms.allocate_registers_pass import AllocateRegistersPass
-    from .transforms.dce import DeadCodeEliminationPass
-    from .transforms.lower_riscv_scf import LowerRiscvScfPass
-    from .transforms.lower_snitch_stream import LowerSnitchStreamPass
-    from .ir.pass_manager import PassManager
-
-    from .transforms.canonicalize import (
-        CanonicalizePass,
-        EliminateIdentityMovesPass,
-    )
-
-    manager = PassManager(
-        [
-            LowerSnitchStreamPass(),
-            CanonicalizePass(),
-            DeadCodeEliminationPass(),
-            AllocateRegistersPass(),
-            LowerRiscvScfPass(),
-            EliminateIdentityMovesPass(),
-        ]
-    )
-    manager.run(module)
-    return CompiledKernel(module=module, asm=emit_module(module), entry=entry)
+    return Compiler(
+        "lowlevel", verify_input=False
+    ).compile(module, entry=entry)
 
 
 def run_kernel(
@@ -174,6 +113,7 @@ def run_kernel(
 
 __all__ = [
     "CompiledKernel",
+    "Compiler",
     "KernelRun",
     "compile_linalg",
     "compile_lowlevel",

@@ -1,0 +1,188 @@
+"""The composable compilation facade.
+
+:class:`Compiler` is the one entry point every flow goes through —
+named pipelines, raw textual pipeline specs, or explicit pass
+sequences::
+
+    from repro.compiler import Compiler
+
+    Compiler().compile(module)                      # the paper's flow
+    Compiler(pipeline="table3-frep").compile(module)
+    Compiler(
+        pipeline="convert-linalg-to-memref-stream,fuse-fill,"
+                 "scalar-replacement,unroll-and-jam{factor=4},"
+                 "lower-to-snitch{use-frep=true},verify-streams,"
+                 "fuse-fmadd,lower-snitch-stream,canonicalize,dce,"
+                 "allocate-registers,lower-riscv-scf,"
+                 "eliminate-identity-moves",
+    ).compile(module)
+
+``api.compile_linalg`` / ``api.compile_lowlevel`` are thin wrappers
+over this class; the CLI (``repro.tools.kernel_compiler``) exposes the
+same spec strings on ``--pipeline``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from .backend.asm_emitter import emit_module
+from .backend.register_allocator import count_used_registers
+from .dialects import riscv_func
+from .dialects.builtin import ModuleOp
+from .ir.pass_manager import (
+    ModulePass,
+    PassInstrumentation,
+    PassManager,
+)
+from .ir.verifier import verify
+from .snitch.assembler import Program, assemble
+from .transforms.pipelines import build_pipeline
+
+
+@dataclass
+class CompiledKernel:
+    """A kernel compiled down to Snitch assembly."""
+
+    #: The lowered module (rv-level IR, registers allocated).
+    module: ModuleOp
+    #: The emitted assembly text.
+    asm: str
+    #: Entry symbol.
+    entry: str
+    #: (pass name, IR text) snapshots if requested at compile time.
+    snapshots: list[tuple[str, str]] = field(default_factory=list)
+    #: (pass name, seconds) per-pass compile-time timings.
+    pass_timings: list[tuple[str, float]] = field(default_factory=list)
+
+    @property
+    def program(self) -> Program:
+        """The assembled program (parsed once per access)."""
+        return assemble(self.asm)
+
+    def register_usage(self) -> tuple[int, int]:
+        """(FP, integer) registers used — the paper's Table 2 metric."""
+        for op in self.module.walk():
+            if isinstance(op, riscv_func.FuncOp):
+                return count_used_registers(op)
+        raise ValueError("no function in compiled module")
+
+
+class Compiler:
+    """Compile modules through a composable pass pipeline.
+
+    ``pipeline`` selects the flow and may be:
+
+    * a named pipeline (``"ours"``, ``"table3-frep"``, ``"lowlevel"``,
+      ... — see ``transforms.pipelines.NAMED_PIPELINES``);
+    * a raw textual pipeline spec
+      (``"fuse-fill,unroll-and-jam{factor=4},..."``);
+    * a :class:`PassManager` (used as-is; ``verify_each`` etc. are then
+      taken from the manager, and snapshots/timings accumulate across
+      compiles);
+    * a sequence of :class:`ModulePass` instances.
+
+    ``unroll_factor`` overrides every ``unroll-and-jam`` pass in a
+    name/spec pipeline; ``verify_each`` verifies the module after every
+    pass; ``verify_input`` verifies it before the first; ``snapshots``
+    records the IR after every pass onto the compiled kernel; and
+    ``instrument`` receives :class:`PassInstrumentation` callbacks
+    around each pass.
+    """
+
+    def __init__(
+        self,
+        pipeline: str | PassManager | Sequence[ModulePass] = "ours",
+        *,
+        unroll_factor: int | None = None,
+        verify_each: bool = True,
+        verify_input: bool = True,
+        snapshots: bool = False,
+        instrument: PassInstrumentation | None = None,
+    ):
+        self.pipeline = pipeline
+        self.unroll_factor = unroll_factor
+        self.verify_each = verify_each
+        self.verify_input = verify_input
+        self.snapshots = snapshots
+        self.instrument = instrument
+        self._prebuilt: PassManager | None = None
+        self._canonical_spec: str | None = None
+        # Resolve names/specs eagerly so a bad pipeline fails at
+        # construction, not at first compile; the built manager is
+        # kept for the first compile.
+        if isinstance(pipeline, str):
+            self._prebuilt = self._make_manager()
+            self._canonical_spec = self._prebuilt.pipeline_spec
+
+    def _make_manager(self) -> PassManager:
+        """A pass manager for one compile.
+
+        Built fresh per compile for name/spec/sequence pipelines so
+        snapshots and timings are per-kernel (the eagerly validated
+        manager serves the first compile); an explicitly provided
+        :class:`PassManager` is reused as given.
+        """
+        if isinstance(self.pipeline, PassManager):
+            return self.pipeline
+        if self._prebuilt is not None:
+            manager, self._prebuilt = self._prebuilt, None
+            return manager
+        if isinstance(self.pipeline, str):
+            return build_pipeline(
+                self.pipeline,
+                unroll_factor=self.unroll_factor,
+                snapshot=self.snapshots,
+                verify_each=self.verify_each,
+                instrument=self.instrument,
+            )
+        return PassManager(
+            list(self.pipeline),
+            verify_each=self.verify_each,
+            snapshot=self.snapshots,
+            instrument=self.instrument,
+        )
+
+    @property
+    def pipeline_spec(self) -> str:
+        """The flow as a canonical, round-trippable textual spec."""
+        if self._canonical_spec is not None:
+            return self._canonical_spec
+        return self._make_manager().pipeline_spec
+
+    def compile(
+        self, module: ModuleOp, entry: str | None = None
+    ) -> CompiledKernel:
+        """Lower ``module`` in place and emit assembly.
+
+        ``entry`` names the entry symbol for modules whose pipeline
+        does not start from ``func.func`` (e.g. handwritten rv-level
+        kernels); by default the first ``rv_func.func`` produced by the
+        pipeline is the entry.
+        """
+        manager = self._make_manager()
+        if self.verify_input:
+            verify(module)
+        manager.run(module)
+        if entry is None:
+            for op in module.walk():
+                if isinstance(op, riscv_func.FuncOp):
+                    entry = op.sym_name
+                    break
+            if entry is None:
+                raise ValueError(
+                    f"pipeline {manager.pipeline_spec!r} produced no "
+                    f"rv_func.func"
+                )
+        asm = emit_module(module)
+        return CompiledKernel(
+            module=module,
+            asm=asm,
+            entry=entry,
+            snapshots=list(manager.snapshots),
+            pass_timings=list(manager.timings),
+        )
+
+
+__all__ = ["CompiledKernel", "Compiler"]

@@ -48,7 +48,21 @@ from .core import (
     single_block_region,
 )
 from .parser import Parser, ParseError, parse_module, parse_op
-from .pass_manager import FunctionPass, LambdaPass, ModulePass, PassManager
+from .pass_manager import (
+    FunctionPass,
+    LambdaPass,
+    ModulePass,
+    PassInstrumentation,
+    PassManager,
+    PrintIRInstrumentation,
+)
+from .pipeline_spec import (
+    PassSpec,
+    PipelineSpecError,
+    parse_pipeline_spec,
+    pass_to_spec,
+    print_pipeline_spec,
+)
 from .printer import Printer, print_op, value_name
 from .rewriter import (
     PatternRewriter,
@@ -91,5 +105,9 @@ __all__ = [
     "IsolatedFromAbove", "SameOperandsAndResultType", "ConstantLike",
     # passes / verification
     "ModulePass", "FunctionPass", "PassManager", "LambdaPass",
+    "PassInstrumentation", "PrintIRInstrumentation",
     "VerificationError", "verify",
+    # pipeline specs
+    "PassSpec", "PipelineSpecError", "parse_pipeline_spec",
+    "pass_to_spec", "print_pipeline_spec",
 ]

@@ -9,11 +9,18 @@ the progressive-lowering example and the ablation benchmarks).
 
 from __future__ import annotations
 
+import sys
+import time
 from typing import Callable, Sequence
 
 from .core import Operation
 from .printer import print_op
 from .verifier import verify
+
+#: Callbacks invoked with every newly defined :class:`ModulePass`
+#: subclass — how the pass registry auto-registers passes at import
+#: time (see :mod:`repro.transforms.registry`).
+SUBCLASS_HOOKS: list[Callable[[type], None]] = []
 
 
 class ModulePass:
@@ -21,6 +28,11 @@ class ModulePass:
 
     #: Identifier used in pipeline specifications.
     name = "unnamed-pass"
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        for hook in SUBCLASS_HOOKS:
+            hook(cls)
 
     def run(self, module: Operation) -> None:
         """Transform ``module`` in place."""
@@ -47,20 +59,54 @@ class FunctionPass(ModulePass):
         raise NotImplementedError
 
 
+class PassInstrumentation:
+    """Observer hooks around every pass a :class:`PassManager` runs.
+
+    Subclass and override any subset; hand an instance to
+    ``PassManager(instrument=...)`` (or ``Compiler(instrument=...)``).
+    """
+
+    def before_pass(self, pass_: ModulePass, module: Operation) -> None:
+        """Called immediately before ``pass_`` runs."""
+
+    def after_pass(
+        self, pass_: ModulePass, module: Operation, elapsed: float
+    ) -> None:
+        """Called after ``pass_`` (and verification); ``elapsed`` is
+        the pass run time in seconds."""
+
+
+class PrintIRInstrumentation(PassInstrumentation):
+    """Print the IR after every pass (``--print-ir-after-all``)."""
+
+    def __init__(self, stream=None):
+        self.stream = stream
+
+    def after_pass(self, pass_, module, elapsed) -> None:
+        stream = self.stream if self.stream is not None else sys.stdout
+        print(f"// -----// IR after {pass_.name} //----- //", file=stream)
+        print(print_op(module), file=stream)
+
+
 class PassManager:
-    """Runs a sequence of passes, optionally verifying/snapshotting."""
+    """Runs a sequence of passes, with optional verification,
+    IR snapshots, per-pass timing and instrumentation hooks."""
 
     def __init__(
         self,
         passes: Sequence[ModulePass] = (),
         verify_each: bool = True,
         snapshot: bool = False,
+        instrument: PassInstrumentation | None = None,
     ):
         self.passes: list[ModulePass] = list(passes)
         self.verify_each = verify_each
         self.snapshot = snapshot
+        self.instrument = instrument
         #: (pass name, IR text) pairs recorded when ``snapshot`` is set.
         self.snapshots: list[tuple[str, str]] = []
+        #: (pass name, seconds) pairs, recorded on every run.
+        self.timings: list[tuple[str, float]] = []
 
     def add(self, pass_: ModulePass) -> "PassManager":
         """Append a pass; returns self for chaining."""
@@ -72,16 +118,26 @@ class PassManager:
         if self.snapshot:
             self.snapshots.append(("input", print_op(module)))
         for pass_ in self.passes:
+            if self.instrument is not None:
+                self.instrument.before_pass(pass_, module)
+            start = time.perf_counter()
             pass_.run(module)
+            elapsed = time.perf_counter() - start
+            self.timings.append((pass_.name, elapsed))
             if self.verify_each:
                 verify(module)
+            if self.instrument is not None:
+                self.instrument.after_pass(pass_, module, elapsed)
             if self.snapshot:
                 self.snapshots.append((pass_.name, print_op(module)))
 
     @property
     def pipeline_spec(self) -> str:
-        """Comma-separated names of the scheduled passes."""
-        return ",".join(p.name for p in self.passes)
+        """The scheduled passes as a round-trippable textual spec
+        (non-default pass options included)."""
+        from .pipeline_spec import pass_to_spec, print_pipeline_spec
+
+        return print_pipeline_spec(pass_to_spec(p) for p in self.passes)
 
 
 class LambdaPass(ModulePass):
@@ -95,4 +151,11 @@ class LambdaPass(ModulePass):
         self._fn(module)
 
 
-__all__ = ["ModulePass", "FunctionPass", "PassManager", "LambdaPass"]
+__all__ = [
+    "ModulePass",
+    "FunctionPass",
+    "PassInstrumentation",
+    "PassManager",
+    "PrintIRInstrumentation",
+    "LambdaPass",
+]

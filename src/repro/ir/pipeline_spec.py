@@ -1,0 +1,242 @@
+"""Textual pipeline specifications.
+
+An MLIR-style, round-trippable syntax for describing a pass pipeline::
+
+    convert-linalg-to-memref-stream,fuse-fill,unroll-and-jam{factor=4},
+    lower-to-snitch{use-frep=true},...
+
+Grammar::
+
+    pipeline ::= pass ("," pass)*
+    pass     ::= name ("{" option (" " option)* "}")?
+    option   ::= key "=" value
+
+Names and keys are kebab-case identifiers; values are integers, floats,
+``true``/``false``, bare words, or double-quoted strings.  The parser
+produces :class:`PassSpec` values and is purely syntactic — resolving a
+name to an actual pass (and validating its options) is the job of the
+pass registry (:mod:`repro.transforms.registry`).
+
+:func:`parse_pipeline_spec` and :func:`print_pipeline_spec` round-trip:
+``parse(print(specs)) == specs`` for any well-formed spec list, and
+``print(parse(text))`` is the canonical form of ``text``.
+"""
+
+from __future__ import annotations
+
+import inspect
+import re
+from dataclasses import dataclass, field
+
+#: Scalar option values representable in a textual spec.
+OptionValue = bool | int | float | str
+
+
+class PipelineSpecError(ValueError):
+    """A malformed pipeline spec, unknown pass, or bad pass option."""
+
+
+@dataclass
+class PassSpec:
+    """One pass occurrence in a pipeline spec: a name plus options."""
+
+    name: str
+    options: dict[str, OptionValue] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return print_pipeline_spec([self])
+
+
+_NAME_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_-]*")
+_INT_RE = re.compile(r"[+-]?\d+\Z")
+_FLOAT_RE = re.compile(r"[+-]?(\d+\.\d*|\.\d+|\d+[eE][+-]?\d+)\Z")
+#: Values printable without quotes.
+_BARE_RE = re.compile(r"[A-Za-z0-9._/+-]+\Z")
+
+
+class _Cursor:
+    """Scanner over a spec string with position-annotated errors."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def error(self, message: str) -> PipelineSpecError:
+        return PipelineSpecError(
+            f"{message} at column {self.pos + 1} of pipeline spec "
+            f"{self.text!r}"
+        )
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def peek(self) -> str:
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def expect(self, char: str) -> None:
+        if self.peek() != char:
+            found = repr(self.peek()) if self.peek() else "end of spec"
+            raise self.error(f"expected {char!r}, found {found}")
+        self.pos += 1
+
+    def name(self, what: str) -> str:
+        match = _NAME_RE.match(self.text, self.pos)
+        if match is None:
+            found = repr(self.peek()) if self.peek() else "end of spec"
+            raise self.error(f"expected {what}, found {found}")
+        self.pos = match.end()
+        return match.group()
+
+    def value(self) -> OptionValue:
+        if self.peek() == '"':
+            return self._quoted()
+        start = self.pos
+        while self.peek() not in ("", " ", "\t", "}", ","):
+            self.pos += 1
+        token = self.text[start : self.pos]
+        if not token:
+            raise self.error("expected an option value")
+        if token == "true":
+            return True
+        if token == "false":
+            return False
+        if _INT_RE.match(token):
+            return int(token)
+        if _FLOAT_RE.match(token):
+            return float(token)
+        return token
+
+    def _quoted(self) -> str:
+        self.expect('"')
+        out = []
+        while True:
+            char = self.peek()
+            if char == "":
+                raise self.error("unterminated quoted value")
+            self.pos += 1
+            if char == '"':
+                return "".join(out)
+            if char == "\\":
+                escaped = self.peek()
+                if escaped not in ('"', "\\"):
+                    raise self.error(f"bad escape '\\{escaped}'")
+                self.pos += 1
+                out.append(escaped)
+            else:
+                out.append(char)
+
+
+def parse_pipeline_spec(text: str) -> list[PassSpec]:
+    """Parse a textual pipeline spec into a list of :class:`PassSpec`.
+
+    Raises :class:`PipelineSpecError` with the offending column on any
+    syntax error.  An empty/whitespace spec is the empty pipeline.
+    """
+    cursor = _Cursor(text)
+    specs: list[PassSpec] = []
+    cursor.skip_ws()
+    if cursor.peek() == "":
+        return specs
+    while True:
+        cursor.skip_ws()
+        name = cursor.name("a pass name")
+        options: dict[str, OptionValue] = {}
+        cursor.skip_ws()
+        if cursor.peek() == "{":
+            cursor.expect("{")
+            cursor.skip_ws()
+            while cursor.peek() != "}":
+                key = cursor.name("an option name")
+                cursor.skip_ws()
+                cursor.expect("=")
+                cursor.skip_ws()
+                if key in options:
+                    raise cursor.error(
+                        f"duplicate option {key!r} for pass {name!r}"
+                    )
+                options[key] = cursor.value()
+                cursor.skip_ws()
+            cursor.expect("}")
+            cursor.skip_ws()
+        specs.append(PassSpec(name, options))
+        if cursor.peek() == "":
+            return specs
+        cursor.expect(",")
+        cursor.skip_ws()
+        if cursor.peek() == "":
+            raise cursor.error("expected a pass name after ','")
+
+
+def _print_value(value: OptionValue) -> str:
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if (
+        _BARE_RE.match(value)
+        # Quote strings the parser would re-type (bools/numbers).
+        and value not in ("true", "false")
+        and not _INT_RE.match(value)
+        and not _FLOAT_RE.match(value)
+    ):
+        return value
+    escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def print_pipeline_spec(specs) -> str:
+    """Render specs in canonical textual form (inverse of the parser)."""
+    parts = []
+    for spec in specs:
+        if spec.options:
+            options = " ".join(
+                f"{key}={_print_value(value)}"
+                for key, value in spec.options.items()
+            )
+            parts.append(f"{spec.name}{{{options}}}")
+        else:
+            parts.append(spec.name)
+    return ",".join(parts)
+
+
+def pass_to_spec(pass_) -> PassSpec:
+    """Recover the :class:`PassSpec` of a constructed pass instance.
+
+    Reads the pass constructor's signature and includes every scalar
+    parameter whose current value (the attribute of the same name)
+    differs from its default — so default-configured passes print as a
+    bare name and ``print_pipeline_spec`` round-trips through the
+    registry.
+    """
+    options: dict[str, OptionValue] = {}
+    signature = inspect.signature(type(pass_).__init__)
+    for parameter in list(signature.parameters.values())[1:]:
+        if parameter.kind in (
+            inspect.Parameter.VAR_POSITIONAL,
+            inspect.Parameter.VAR_KEYWORD,
+        ):
+            continue
+        if parameter.name == "name":  # a pass identity, never an option
+            continue
+        value = getattr(pass_, parameter.name, parameter.default)
+        if value == parameter.default and type(value) is type(
+            parameter.default
+        ):
+            continue
+        if not isinstance(value, (bool, int, float, str)):
+            continue
+        options[parameter.name.replace("_", "-")] = value
+    return PassSpec(pass_.name, options)
+
+
+__all__ = [
+    "OptionValue",
+    "PassSpec",
+    "PipelineSpecError",
+    "parse_pipeline_spec",
+    "pass_to_spec",
+    "print_pipeline_spec",
+]

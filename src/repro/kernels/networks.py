@@ -144,7 +144,11 @@ def run_network(
     seed: int = 0,
     validate: bool = True,
 ) -> NetworkResult:
-    """Compile and simulate every layer kernel; aggregate the metrics."""
+    """Compile and simulate every layer kernel; aggregate the metrics.
+
+    ``pipeline`` is a named pipeline or any textual pipeline spec
+    (forwarded to :func:`repro.api.compile_linalg`).
+    """
     results = []
     for layer in layers:
         module, spec = layer.build()

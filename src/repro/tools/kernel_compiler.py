@@ -1,13 +1,19 @@
 """Command-line micro-kernel compiler.
 
-Compile a kernel from the Table 1 suite through any named pipeline,
-print the assembly and (optionally) simulate and validate it::
+Compile a kernel from the Table 1 suite through any named pipeline —
+or any raw textual pipeline spec — print the assembly and (optionally)
+simulate and validate it::
 
     python -m repro.tools.kernel_compiler matmul 1 200 5 \\
         --pipeline ours --run
     python -m repro.tools.kernel_compiler conv3x3 8 20 \\
         --pipeline clang --run --compare ours
     python -m repro.tools.kernel_compiler matvec 5 200 --show-stages
+    python -m repro.tools.kernel_compiler --list-pipelines
+    python -m repro.tools.kernel_compiler sum 4 4 --pipeline \\
+        "convert-linalg-to-memref-stream,lower-to-snitch{use-frep=false},\\
+verify-streams,fuse-fmadd,lower-snitch-stream,canonicalize,dce,\\
+allocate-registers,lower-riscv-scf,eliminate-identity-moves"
 
 This is the reproduction's equivalent of the paper artifact's
 per-experiment scripts (Section A.7).
@@ -21,6 +27,9 @@ import sys
 import numpy as np
 
 from .. import api, kernels
+from ..compiler import Compiler
+from ..ir.pass_manager import PrintIRInstrumentation
+from ..ir.pipeline_spec import PipelineSpecError
 
 #: Kernel name -> (builder, number of size arguments).
 KERNEL_BUILDERS = {
@@ -46,16 +55,27 @@ def build_argument_parser() -> argparse.ArgumentParser:
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument(
-        "kernel", choices=sorted(KERNEL_BUILDERS), help="kernel name"
+        "kernel",
+        nargs="?",
+        choices=sorted(KERNEL_BUILDERS),
+        help="kernel name",
     )
     parser.add_argument(
-        "sizes", type=int, nargs="+", help="shape sizes (kernel-specific)"
+        "sizes", type=int, nargs="*", help="shape sizes (kernel-specific)"
     )
     parser.add_argument(
         "--pipeline",
         default="ours",
-        choices=PIPELINE_NAMES,
-        help="compilation flow (default: ours)",
+        metavar="NAME_OR_SPEC",
+        help="compilation flow: a named pipeline "
+        f"({', '.join(PIPELINE_NAMES)}) or a raw pipeline-spec string "
+        'like "convert-linalg-to-memref-stream,...,unroll-and-jam'
+        '{factor=4},..." (default: ours)',
+    )
+    parser.add_argument(
+        "--list-pipelines",
+        action="store_true",
+        help="print each named pipeline's expanded spec and exit",
     )
     parser.add_argument(
         "--unroll-factor",
@@ -80,6 +100,13 @@ def build_argument_parser() -> argparse.ArgumentParser:
         help="print the IR after every pass (progressive lowering)",
     )
     parser.add_argument(
+        "--print-ir-after-all",
+        action="store_true",
+        help="stream the IR after each pass as it runs (pass-manager "
+        "instrumentation; unlike --show-stages, printing interleaves "
+        "with compilation)",
+    )
+    parser.add_argument(
         "--no-asm", action="store_true", help="do not print the assembly"
     )
     parser.add_argument(
@@ -88,7 +115,18 @@ def build_argument_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def compile_kernel(name, sizes, pipeline, unroll_factor, show_stages):
+def list_pipelines() -> None:
+    """Print each named pipeline's expanded spec."""
+    from ..transforms.pipelines import NAMED_PIPELINES
+
+    width = max(map(len, NAMED_PIPELINES))
+    for name in sorted(NAMED_PIPELINES):
+        print(f"{name:<{width}}  {NAMED_PIPELINES[name]}")
+
+
+def compile_kernel(
+    name, sizes, pipeline, unroll_factor, show_stages, print_ir=False
+):
     """Build + compile; returns (spec, compiled)."""
     builder, arity = KERNEL_BUILDERS[name]
     if len(sizes) != arity:
@@ -96,12 +134,21 @@ def compile_kernel(name, sizes, pipeline, unroll_factor, show_stages):
             f"kernel {name!r} takes {arity} sizes, got {len(sizes)}"
         )
     module, spec = builder(*sizes)
-    compiled = api.compile_linalg(
-        module,
-        pipeline=pipeline,
-        unroll_factor=unroll_factor,
-        snapshots=show_stages,
-    )
+    try:
+        compiler = Compiler(
+            pipeline,
+            unroll_factor=unroll_factor,
+            snapshots=show_stages,
+            instrument=PrintIRInstrumentation() if print_ir else None,
+        )
+    except PipelineSpecError as error:
+        raise SystemExit(f"bad --pipeline: {error}")
+    try:
+        compiled = compiler.compile(module)
+    except ValueError as error:
+        # e.g. a backend-only pipeline over a linalg-level kernel
+        # produces no rv_func.func entry.
+        raise SystemExit(f"compilation failed: {error}")
     return spec, compiled
 
 
@@ -126,13 +173,20 @@ def report_run(spec, compiled, seed: int) -> "api.KernelRun":
 
 def main(argv=None) -> int:
     """Entry point; returns a process exit code."""
-    args = build_argument_parser().parse_args(argv)
+    parser = build_argument_parser()
+    args = parser.parse_args(argv)
+    if args.list_pipelines:
+        list_pipelines()
+        return 0
+    if args.kernel is None:
+        parser.error("a kernel name is required (or --list-pipelines)")
     spec, compiled = compile_kernel(
         args.kernel,
         args.sizes,
         args.pipeline,
         args.unroll_factor,
         args.show_stages,
+        print_ir=args.print_ir_after_all,
     )
     if args.show_stages:
         for name, text in compiled.snapshots:

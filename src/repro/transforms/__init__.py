@@ -13,7 +13,10 @@ backend             ``fuse_fmadd`` -> ``allocate_registers`` ->
                     ``lower_snitch_stream`` -> ``lower_riscv_scf`` ->
                     assembly emission
 
-``pipelines`` assembles these into the named flows used in the
-evaluation ("ours", the Table 3 ablation prefixes, and the "clang" /
-"mlir" baselines).
+``registry`` gives every pass a canonical kebab-case name and typed
+options, so flows are expressible as textual pipeline specs
+(``fuse-fill,unroll-and-jam{factor=4},...`` — see
+:mod:`repro.ir.pipeline_spec`); ``pipelines`` declares the named flows
+used in the evaluation ("ours", the Table 3 ablation prefixes, and the
+"clang" / "mlir" baselines) as entries in its spec table.
 """

@@ -1,0 +1,184 @@
+"""Tests for the textual pipeline-spec language (parse/print/errors)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir.pipeline_spec import (
+    PassSpec,
+    PipelineSpecError,
+    parse_pipeline_spec,
+    pass_to_spec,
+    print_pipeline_spec,
+)
+
+
+class TestParse:
+    def test_empty_spec_is_empty_pipeline(self):
+        assert parse_pipeline_spec("") == []
+        assert parse_pipeline_spec("   ") == []
+
+    def test_single_pass(self):
+        assert parse_pipeline_spec("dce") == [PassSpec("dce")]
+
+    def test_sequence(self):
+        assert parse_pipeline_spec("fuse-fill,dce,canonicalize") == [
+            PassSpec("fuse-fill"),
+            PassSpec("dce"),
+            PassSpec("canonicalize"),
+        ]
+
+    def test_whitespace_tolerated(self):
+        assert parse_pipeline_spec(" fuse-fill , dce ") == [
+            PassSpec("fuse-fill"),
+            PassSpec("dce"),
+        ]
+
+    def test_options_typed(self):
+        (spec,) = parse_pipeline_spec(
+            "unroll-and-jam{factor=4 flag=true ratio=0.5 mode=fast}"
+        )
+        assert spec.options == {
+            "factor": 4,
+            "flag": True,
+            "ratio": 0.5,
+            "mode": "fast",
+        }
+        assert isinstance(spec.options["factor"], int)
+        assert isinstance(spec.options["flag"], bool)
+        assert isinstance(spec.options["ratio"], float)
+
+    def test_false_and_negative_values(self):
+        (spec,) = parse_pipeline_spec("p{a=false b=-3}")
+        assert spec.options == {"a": False, "b": -3}
+
+    def test_quoted_string_value(self):
+        (spec,) = parse_pipeline_spec('p{label="hello, world"}')
+        assert spec.options == {"label": "hello, world"}
+
+    def test_quoted_escapes(self):
+        (spec,) = parse_pipeline_spec(r'p{label="a \"b\" \\c"}')
+        assert spec.options == {"label": 'a "b" \\c'}
+
+    def test_multiple_option_groups(self):
+        specs = parse_pipeline_spec("a{x=1},b,c{y=false}")
+        assert [s.name for s in specs] == ["a", "b", "c"]
+        assert specs[0].options == {"x": 1}
+        assert specs[2].options == {"y": False}
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "text,fragment",
+        [
+            ("fuse-fill,", "expected a pass name after ','"),
+            (",dce", "expected a pass name"),
+            ("a{x}", "expected '='"),
+            ("a{x=}", "expected an option value"),
+            ("a{x=1", "expected an option name, found end of spec"),
+            ("a}b", "expected ','"),
+            ('a{s="oops}', "unterminated quoted value"),
+            ("a{x=1 x=2}", "duplicate option 'x'"),
+        ],
+    )
+    def test_malformed(self, text, fragment):
+        with pytest.raises(PipelineSpecError, match="column"):
+            try:
+                parse_pipeline_spec(text)
+            except PipelineSpecError as error:
+                assert fragment in str(error)
+                raise
+
+    def test_error_reports_column(self):
+        with pytest.raises(PipelineSpecError) as info:
+            parse_pipeline_spec("dce,{}")
+        assert "column 5" in str(info.value)
+
+    def test_error_is_value_error(self):
+        with pytest.raises(ValueError):
+            parse_pipeline_spec(",")
+
+
+class TestPrint:
+    def test_bare_names(self):
+        assert (
+            print_pipeline_spec([PassSpec("a"), PassSpec("b")]) == "a,b"
+        )
+
+    def test_options_rendered(self):
+        text = print_pipeline_spec(
+            [PassSpec("u", {"factor": 4, "frep": True, "m": "fast"})]
+        )
+        assert text == "u{factor=4 frep=true m=fast}"
+
+    def test_string_needing_quotes(self):
+        text = print_pipeline_spec([PassSpec("p", {"s": "a b"})])
+        assert text == 'p{s="a b"}'
+        assert parse_pipeline_spec(text)[0].options == {"s": "a b"}
+
+    def test_stringy_bool_quoted(self):
+        # The *string* "true" must not round-trip into a bool.
+        text = print_pipeline_spec([PassSpec("p", {"s": "true"})])
+        assert parse_pipeline_spec(text)[0].options == {"s": "true"}
+
+
+# -- round-trip property ------------------------------------------------------
+
+names = st.from_regex(r"[a-z][a-z0-9]{0,8}(-[a-z0-9]{1,5}){0,2}", fullmatch=True)
+values = st.one_of(
+    st.booleans(),
+    st.integers(-(10**9), 10**9),
+    st.text(
+        st.characters(
+            codec="ascii", exclude_categories=("C",)
+        ),
+        min_size=1,
+        max_size=12,
+    ),
+)
+specs = st.lists(
+    st.builds(
+        PassSpec,
+        names,
+        st.dictionaries(names, values, max_size=3),
+    ),
+    max_size=6,
+)
+
+
+class TestRoundTrip:
+    @given(specs)
+    def test_print_parse_identity(self, spec_list):
+        text = print_pipeline_spec(spec_list)
+        assert parse_pipeline_spec(text) == spec_list
+
+    @given(specs)
+    def test_printed_form_is_canonical(self, spec_list):
+        text = print_pipeline_spec(spec_list)
+        assert print_pipeline_spec(parse_pipeline_spec(text)) == text
+
+
+class TestPassToSpec:
+    def test_default_options_omitted(self):
+        from repro.transforms.lower_to_snitch import LowerToSnitchPass
+
+        assert pass_to_spec(LowerToSnitchPass()) == PassSpec(
+            "lower-to-snitch"
+        )
+
+    def test_non_default_options_included(self):
+        from repro.transforms.lower_to_snitch import LowerToSnitchPass
+        from repro.transforms.unroll_and_jam import UnrollAndJamPass
+
+        assert pass_to_spec(LowerToSnitchPass(use_frep=False)) == (
+            PassSpec("lower-to-snitch", {"use-frep": False})
+        )
+        assert pass_to_spec(UnrollAndJamPass(4)) == PassSpec(
+            "unroll-and-jam", {"factor": 4}
+        )
+
+    def test_lambda_pass_prints_bare(self):
+        from repro.ir.pass_manager import LambdaPass
+
+        assert pass_to_spec(LambdaPass("x", lambda m: None)) == (
+            PassSpec("x")
+        )

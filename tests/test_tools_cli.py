@@ -1,5 +1,9 @@
 """Tests for the command-line kernel compiler."""
 
+import os
+import subprocess
+import sys
+
 import pytest
 
 from repro.tools import kernel_compiler
@@ -66,3 +70,90 @@ class TestMain:
         )
         out = capsys.readouterr().out
         assert out.count("fmadd.d") == 2
+
+    def test_missing_kernel_rejected(self):
+        with pytest.raises(SystemExit):
+            kernel_compiler.main([])
+
+
+class TestPipelineSpecs:
+    def test_raw_spec_accepted(self, capsys):
+        from repro.transforms.pipelines import NAMED_PIPELINES
+
+        code = kernel_compiler.main(
+            [
+                "sum", "4", "4",
+                "--pipeline", NAMED_PIPELINES["table3-streams"],
+                "--run", "--no-asm",
+            ]
+        )
+        assert code == 0
+        assert "numpy check:     OK" in capsys.readouterr().out
+
+    def test_spec_with_option_accepted(self, capsys):
+        spec = (
+            "convert-linalg-to-memref-stream,fuse-fill,"
+            "scalar-replacement,unroll-and-jam{factor=2},"
+            "lower-to-snitch,verify-streams,fuse-fmadd,"
+            "lower-snitch-stream,canonicalize,dce,allocate-registers,"
+            "lower-riscv-scf,eliminate-identity-moves"
+        )
+        code = kernel_compiler.main(
+            ["matmul", "1", "16", "4", "--pipeline", spec]
+        )
+        assert code == 0
+        assert capsys.readouterr().out.count("fmadd.d") == 2
+
+    def test_bad_pipeline_rejected_with_message(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            kernel_compiler.main(
+                ["sum", "4", "4", "--pipeline", "unroll-and-jamm"]
+            )
+        assert "unknown pipeline" in str(info.value)
+        assert "did you mean unroll-and-jam" in str(info.value)
+
+    def test_list_pipelines(self, capsys):
+        from repro.transforms.pipelines import NAMED_PIPELINES
+
+        assert kernel_compiler.main(["--list-pipelines"]) == 0
+        out = capsys.readouterr().out
+        for name, spec in NAMED_PIPELINES.items():
+            assert name in out
+            assert spec in out
+
+    def test_print_ir_after_all(self, capsys):
+        code = kernel_compiler.main(
+            ["sum", "4", "4", "--print-ir-after-all", "--no-asm"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "// -----// IR after convert-linalg-to-memref-stream" in (
+            out
+        )
+        assert "// -----// IR after eliminate-identity-moves" in out
+
+
+class TestSmoke:
+    def test_module_invocation_compiles_and_runs(self):
+        """CI smoke: the documented command line works end to end."""
+        env = dict(os.environ)
+        src = os.path.join(
+            os.path.dirname(__file__), "..", "src"
+        )
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.abspath(src)]
+            + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "repro.tools.kernel_compiler",
+                "matmul", "1", "200", "5",
+                "--pipeline", "ours", "--run", "--no-asm",
+            ],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "numpy check:     OK" in proc.stdout
