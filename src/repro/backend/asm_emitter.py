@@ -44,6 +44,13 @@ def _emit_block(block: Block, lines: list[str]) -> None:
 
 
 def _emit_op(op: Operation, lines: list[str]) -> None:
+    # Most ops are plain instructions; test that first.
+    if isinstance(op, RISCVInstruction):
+        line = op.assembly_line()
+        if line is not None:
+            indent = "" if line.endswith(":") else "    "
+            lines.append(indent + line)
+        return
     if isinstance(op, riscv_snitch.FrepOuter):
         _emit_frep(op, lines)
         return
@@ -56,12 +63,6 @@ def _emit_op(op: Operation, lines: list[str]) -> None:
         ),
     ):
         return  # stream/loop plumbing with no assembly form
-    if isinstance(op, RISCVInstruction):
-        line = op.assembly_line()
-        if line is not None:
-            indent = "" if line.endswith(":") else "    "
-            lines.append(indent + line)
-        return
     raise AsmEmissionError(
         f"op {op.name} cannot be emitted; lower it before emission"
     )

@@ -30,6 +30,8 @@ micro-kernel workloads never trigger it.
 
 from __future__ import annotations
 
+from bisect import bisect_left
+
 from ..dialects import riscv_func, riscv_scf, riscv_snitch, snitch_stream
 from ..dialects.riscv import (
     FloatRegisterType,
@@ -58,11 +60,20 @@ _FLOAT_POOL = (
 
 
 class _RegisterFile:
-    """Bookkeeping for one register kind (integer or floating point)."""
+    """Bookkeeping for one register kind (integer or floating point).
+
+    The free pool is kept as a sorted list of *ranks* (positions in the
+    pool order) so hand-out order is stable and every operation is a
+    bisect/memmove on a ≤20-entry int list instead of keyed Python-level
+    scans and sorts — the allocator runs once per value per function.
+    """
 
     def __init__(self, pool: tuple[str, ...]):
         self.pool_order = list(pool)
-        self.free = list(pool)
+        #: register name -> position in the pool order.
+        self._rank = {name: i for i, name in enumerate(pool)}
+        #: sorted ranks of currently free registers.
+        self._free_ranks = list(range(len(pool)))
         #: register name -> number of live values currently holding it.
         self.live_counts: dict[str, int] = {}
         #: registers the allocator owns (excluded ones are not returned).
@@ -70,10 +81,22 @@ class _RegisterFile:
         #: registers temporarily reserved (streaming scopes).
         self.reserved: set[str] = set()
 
+    @property
+    def free(self) -> list[str]:
+        """Free registers, in hand-out order (diagnostics/tests)."""
+        return [self.pool_order[r] for r in self._free_ranks]
+
+    def _drop_free(self, name: str) -> None:
+        rank = self._rank.get(name)
+        if rank is None:
+            return
+        i = bisect_left(self._free_ranks, rank)
+        if i < len(self._free_ranks) and self._free_ranks[i] == rank:
+            del self._free_ranks[i]
+
     def exclude(self, name: str) -> None:
         """Pass 1: remove ``name`` from the pool permanently."""
-        if name in self.free:
-            self.free.remove(name)
+        self._drop_free(name)
         self.owned.discard(name)
 
     def reserve(self, name: str) -> None:
@@ -86,9 +109,10 @@ class _RegisterFile:
 
     def take(self) -> str:
         """Hand out the next free, unreserved register."""
-        for name in self.free:
+        for i, rank in enumerate(self._free_ranks):
+            name = self.pool_order[rank]
             if name not in self.reserved:
-                self.free.remove(name)
+                del self._free_ranks[i]
                 return name
         raise RegisterPressureError(
             "out of registers: the spill-free allocator cannot satisfy "
@@ -98,8 +122,12 @@ class _RegisterFile:
     def acquire(self, name: str) -> None:
         """Record one more live value in ``name``."""
         self.live_counts[name] = self.live_counts.get(name, 0) + 1
-        if name in self.free:
-            self.free.remove(name)
+        self._drop_free(name)
+
+    def acquire_taken(self, name: str) -> None:
+        """Record the first live value in a register :meth:`take` just
+        handed out (already removed from the free pool)."""
+        self.live_counts[name] = self.live_counts.get(name, 0) + 1
 
     def release(self, name: str) -> None:
         """Drop one live value from ``name``; pool it when empty."""
@@ -107,9 +135,11 @@ class _RegisterFile:
         if count < 0:
             return
         self.live_counts[name] = count
-        if count == 0 and name in self.owned and name not in self.free:
-            self.free.append(name)
-            self.free.sort(key=self.pool_order.index)
+        if count == 0 and name in self.owned:
+            rank = self._rank[name]
+            i = bisect_left(self._free_ranks, rank)
+            if i == len(self._free_ranks) or self._free_ranks[i] != rank:
+                self._free_ranks.insert(i, rank)
 
 
 class RegisterAllocator:
@@ -125,6 +155,11 @@ class RegisterAllocator:
         self.reuse_unused_abi_registers = reuse_unused_abi_registers
         self.int_file = _RegisterFile(_INT_POOL)
         self.float_file = _RegisterFile(_FLOAT_POOL)
+        #: register-type class -> file (dispatch without isinstance).
+        self._files = {
+            IntRegisterType: self.int_file,
+            FloatRegisterType: self.float_file,
+        }
         #: ids of values currently holding a register.
         self._live_values: set[int] = set()
         #: loop op id -> values defined outside, used inside (pass 2).
@@ -142,26 +177,29 @@ class RegisterAllocator:
 
     def _exclude_used(self, func: riscv_func.FuncOp) -> None:
         for op in func.walk():
-            values = list(op.results)
+            for value in op.results:
+                self._exclude_value(value)
             for region in op.regions:
                 for block in region.blocks:
-                    values.extend(block.args)
-            for value in values:
-                if (
-                    self.reuse_unused_abi_registers
-                    and op is func
-                    and value in func.entry_block.args
-                    and not value.has_uses
-                ):
-                    continue  # dead argument: keep its register usable
-                self._exclude_value(value)
+                    for value in block.args:
+                        if (
+                            self.reuse_unused_abi_registers
+                            and op is func
+                            and block is func.entry_block
+                            and not value.has_uses
+                        ):
+                            continue  # dead argument: keep it usable
+                        self._exclude_value(value)
 
     def _exclude_value(self, value: SSAValue) -> None:
         vtype = value.type
-        if isinstance(vtype, IntRegisterType) and vtype.is_allocated:
-            self.int_file.exclude(vtype.register)
-        elif isinstance(vtype, FloatRegisterType) and vtype.is_allocated:
-            self.float_file.exclude(vtype.register)
+        register = getattr(vtype, "register", None)
+        if not register:
+            return  # non-register type, or not yet allocated
+        if isinstance(vtype, IntRegisterType):
+            self.int_file.exclude(register)
+        elif isinstance(vtype, FloatRegisterType):
+            self.float_file.exclude(register)
 
     # -- pass 2: values defined outside a loop, used inside ------------------------
 
@@ -170,30 +208,33 @@ class RegisterAllocator:
         for loop in func.walk():
             if not isinstance(loop, loop_types):
                 continue
-            inside = {id(op) for op in loop.walk() if op is not loop}
-            inside_blocks = {
-                id(block)
-                for op in loop.walk()
-                for region in op.regions
-                for block in region.blocks
-            }
-            seen: set[int] = set()
-            outer: list[SSAValue] = []
+            # One walk collects the nested ops/blocks and the candidate
+            # operands; a second pass over those operands then filters
+            # out the inside-defined ones.
+            inside: set[int] = set()
+            inside_blocks = {id(loop.body.block)}
+            candidates: list[SSAValue] = []
             for op in loop.walk():
                 if op is loop:
                     continue
-                for operand in op.operands:
-                    owner = operand.owner
-                    defined_inside = (
-                        isinstance(owner, Operation) and id(owner) in inside
-                    ) or (
-                        isinstance(owner, Block)
-                        and id(owner) in inside_blocks
-                    )
-                    if defined_inside or id(operand) in seen:
-                        continue
-                    seen.add(id(operand))
-                    outer.append(operand)
+                inside.add(id(op))
+                for region in op.regions:
+                    for block in region.blocks:
+                        inside_blocks.add(id(block))
+                candidates.extend(op.operands)
+            seen: set[int] = set()
+            outer: list[SSAValue] = []
+            for operand in candidates:
+                owner = operand.owner
+                defined_inside = (
+                    isinstance(owner, Operation) and id(owner) in inside
+                ) or (
+                    isinstance(owner, Block) and id(owner) in inside_blocks
+                )
+                if defined_inside or id(operand) in seen:
+                    continue
+                seen.add(id(operand))
+                outer.append(operand)
             self._outer_values[id(loop)] = outer
 
     # -- pass 3: backwards allocation walk ---------------------------------------
@@ -222,7 +263,7 @@ class RegisterAllocator:
                 [op.results[result_index], op.operands[operand_index]]
             )
         # Uses first: walking backwards, a use precedes its definition.
-        for operand in op.operands:
+        for operand in op._operands:
             self._allocate_value(operand)
         # Results: the value's live range ends at its definition.
         for result in op.results:
@@ -306,11 +347,7 @@ class RegisterAllocator:
     # -- value-level helpers ---------------------------------------------------------
 
     def _file_for(self, value: SSAValue) -> _RegisterFile | None:
-        if isinstance(value.type, IntRegisterType):
-            return self.int_file
-        if isinstance(value.type, FloatRegisterType):
-            return self.float_file
-        return None
+        return self._files.get(type(value.type))
 
     def _allocate_value(self, value: SSAValue) -> None:
         """Assign a register to ``value`` if it does not have one yet."""
@@ -329,7 +366,7 @@ class RegisterAllocator:
         name = file.take()
         value.type = type(vtype)(name)
         self._live_values.add(id(value))
-        file.acquire(name)
+        file.acquire_taken(name)
 
     def _allocate_group(self, group: list[SSAValue]) -> None:
         """Put every value of a loop-carried group in the same register."""

@@ -55,6 +55,11 @@ class CompiledKernel:
     snapshots: list[tuple[str, str]] = field(default_factory=list)
     #: (pass name, seconds) per-pass compile-time timings.
     pass_timings: list[tuple[str, float]] = field(default_factory=list)
+    #: (pass name, rewrite-driver counters) per pass: ops visited,
+    #: pattern invocations, rewrites applied.
+    pass_stats: list[tuple[str, dict[str, int]]] = field(
+        default_factory=list
+    )
 
     @property
     def program(self) -> Program:
@@ -109,12 +114,15 @@ class Compiler:
         self.instrument = instrument
         self._prebuilt: PassManager | None = None
         self._canonical_spec: str | None = None
+        self._spec_passes: list[ModulePass] | None = None
         # Resolve names/specs eagerly so a bad pipeline fails at
         # construction, not at first compile; the built manager is
-        # kept for the first compile.
+        # kept for the first compile.  The canonical spec text itself
+        # is derived lazily — computing it costs as much as building
+        # the manager and most compiles never read it.
         if isinstance(pipeline, str):
             self._prebuilt = self._make_manager()
-            self._canonical_spec = self._prebuilt.pipeline_spec
+            self._spec_passes = list(self._prebuilt.passes)
 
     def _make_manager(self) -> PassManager:
         """A pass manager for one compile.
@@ -147,9 +155,19 @@ class Compiler:
     @property
     def pipeline_spec(self) -> str:
         """The flow as a canonical, round-trippable textual spec."""
-        if self._canonical_spec is not None:
-            return self._canonical_spec
-        return self._make_manager().pipeline_spec
+        if self._canonical_spec is None:
+            if self._spec_passes is not None:
+                from .ir.pipeline_spec import (
+                    pass_to_spec,
+                    print_pipeline_spec,
+                )
+
+                self._canonical_spec = print_pipeline_spec(
+                    pass_to_spec(p) for p in self._spec_passes
+                )
+            else:
+                return self._make_manager().pipeline_spec
+        return self._canonical_spec
 
     def compile(
         self, module: ModuleOp, entry: str | None = None
@@ -166,7 +184,7 @@ class Compiler:
             verify(module)
         manager.run(module)
         if entry is None:
-            for op in module.walk():
+            for op in module.block.ops:
                 if isinstance(op, riscv_func.FuncOp):
                     entry = op.sym_name
                     break
@@ -182,6 +200,7 @@ class Compiler:
             entry=entry,
             snapshots=list(manager.snapshots),
             pass_timings=list(manager.timings),
+            pass_stats=list(manager.pass_stats),
         )
 
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Iterator, Sequence
 
-from ..ir.core import Block, Operation, Region
+from ..ir.core import Block, BlockOps, Operation, Region
 from ..ir.traits import IsolatedFromAbove
 
 
@@ -25,8 +25,8 @@ class ModuleOp(Operation):
         return self.body.block
 
     @property
-    def ops(self) -> tuple[Operation, ...]:
-        """Top-level operations of the module."""
+    def ops(self) -> BlockOps:
+        """Top-level operations of the module (live sequence view)."""
         return self.block.ops
 
     def __iter__(self) -> Iterator[Operation]:

@@ -62,15 +62,22 @@ class FloatRegisterType(TypeAttribute):
 
 RegisterType = IntRegisterType | FloatRegisterType
 
+#: Shared "not yet allocated" type singletons: register types are
+#: immutable value objects, and a fresh unallocated instance per
+#: constructed op showed up in compile-time profiles.
+UNALLOCATED_INT = IntRegisterType()
+UNALLOCATED_FLOAT = FloatRegisterType()
+
 
 def reg_name(value: SSAValue) -> str:
     """The concrete register holding ``value`` (must be allocated)."""
     vtype = value.type
-    if not isinstance(vtype, (IntRegisterType, FloatRegisterType)):
+    register = getattr(vtype, "register", None)
+    if register is None:
         raise IRError(f"value is not register-typed: {vtype}")
-    if not vtype.is_allocated:
+    if not register:
         raise IRError("value has no register allocated yet")
-    return vtype.register
+    return register
 
 
 # ---------------------------------------------------------------------------
@@ -115,7 +122,7 @@ class RdRsRsInstruction(RISCVInstruction):
     ):
         super().__init__(
             operands=[rs1, rs2],
-            result_types=[result_type or IntRegisterType()],
+            result_types=[result_type or UNALLOCATED_INT],
         )
 
     @property
@@ -147,7 +154,7 @@ class FRdRsRsInstruction(RISCVInstruction):
     ):
         super().__init__(
             operands=[rs1, rs2],
-            result_types=[result_type or FloatRegisterType()],
+            result_types=[result_type or UNALLOCATED_FLOAT],
         )
 
     @property
@@ -179,7 +186,7 @@ class RdRsImmInstruction(RISCVInstruction):
     ):
         super().__init__(
             operands=[rs1],
-            result_types=[result_type or IntRegisterType()],
+            result_types=[result_type or UNALLOCATED_INT],
             attributes={"immediate": IntAttr(immediate)},
         )
 
@@ -247,7 +254,7 @@ class LiOp(RISCVInstruction):
         result_type: IntRegisterType | None = None,
     ):
         super().__init__(
-            result_types=[result_type or IntRegisterType()],
+            result_types=[result_type or UNALLOCATED_INT],
             attributes={"immediate": IntAttr(immediate)},
         )
 
@@ -281,7 +288,7 @@ class MVOp(RISCVInstruction):
     ):
         super().__init__(
             operands=[rs],
-            result_types=[result_type or IntRegisterType()],
+            result_types=[result_type or UNALLOCATED_INT],
         )
 
     @property
@@ -307,7 +314,7 @@ class FMVOp(RISCVInstruction):
     ):
         super().__init__(
             operands=[rs],
-            result_types=[result_type or FloatRegisterType()],
+            result_types=[result_type or UNALLOCATED_FLOAT],
         )
 
     @property
@@ -333,7 +340,7 @@ class FCvtDWOp(RISCVInstruction):
     ):
         super().__init__(
             operands=[rs],
-            result_types=[result_type or FloatRegisterType()],
+            result_types=[result_type or UNALLOCATED_FLOAT],
         )
 
 
@@ -397,7 +404,7 @@ class LwOp(RISCVInstruction):
     ):
         super().__init__(
             operands=[base],
-            result_types=[result_type or IntRegisterType()],
+            result_types=[result_type or UNALLOCATED_INT],
             attributes={"immediate": IntAttr(immediate)},
         )
 
@@ -475,7 +482,7 @@ class _FLoadOp(RISCVInstruction):
     ):
         super().__init__(
             operands=[base],
-            result_types=[result_type or FloatRegisterType()],
+            result_types=[result_type or UNALLOCATED_FLOAT],
             attributes={"immediate": IntAttr(immediate)},
         )
 
@@ -662,7 +669,7 @@ class _FMAInstruction(RISCVInstruction):
     ):
         super().__init__(
             operands=[rs1, rs2, rs3],
-            result_types=[result_type or FloatRegisterType()],
+            result_types=[result_type or UNALLOCATED_FLOAT],
         )
 
     @property

@@ -21,6 +21,7 @@ from ..ir.attributes import IntAttr, StringAttr
 from ..ir.core import Block, IRError, Operation, Region, SSAValue
 from ..ir.traits import HasMemoryEffect, IsTerminator, Pure
 from .riscv import (
+    UNALLOCATED_FLOAT,
     FloatRegisterType,
     FRdRsRsInstruction,
     IntRegisterType,
@@ -99,19 +100,23 @@ class FrepOuter(Operation):
             raise IRError("frep_outer: body must end with frep_yield")
         if len(last.operands) != len(self.results):
             raise IRError("frep_outer: yield arity mismatch")
-        for op in block.ops:
-            if isinstance(op, (FrepYieldOp, ReadOp, WriteOp)):
-                continue
-            if not isinstance(op, RISCVInstruction):
-                raise IRError(
-                    f"frep_outer: body op {op.name} is not an instruction"
-                )
-            for value in list(op.operands) + list(op.results):
-                if isinstance(value.type, IntRegisterType):
+        op = block.first_op
+        while op is not None:
+            if not isinstance(op, (FrepYieldOp, ReadOp, WriteOp)):
+                if not isinstance(op, RISCVInstruction):
                     raise IRError(
-                        "frep_outer: only FP and stream instructions are "
-                        f"allowed in the body (found {op.name})"
+                        f"frep_outer: body op {op.name} is not an "
+                        "instruction"
                     )
+                for values in (op._operands, op.results):
+                    for value in values:
+                        if isinstance(value.type, IntRegisterType):
+                            raise IRError(
+                                "frep_outer: only FP and stream "
+                                "instructions are allowed in the body "
+                                f"(found {op.name})"
+                            )
+            op = op.next_op
 
     def body_instruction_count(self) -> int:
         """Number of assembly instructions inside the FREP body."""
@@ -321,7 +326,7 @@ class VFMacSOp(RISCVInstruction):
     ):
         super().__init__(
             operands=[accumulator, rs1, rs2],
-            result_types=[result_type or FloatRegisterType()],
+            result_types=[result_type or UNALLOCATED_FLOAT],
         )
 
     @property
@@ -371,7 +376,7 @@ class VFSumSOp(RISCVInstruction):
     ):
         super().__init__(
             operands=[accumulator, rs1],
-            result_types=[result_type or FloatRegisterType()],
+            result_types=[result_type or UNALLOCATED_FLOAT],
         )
 
     @property
@@ -408,7 +413,7 @@ class VFCpkaSSOp(RISCVInstruction):
     ):
         super().__init__(
             operands=[rs1, rs2],
-            result_types=[result_type or FloatRegisterType()],
+            result_types=[result_type or UNALLOCATED_FLOAT],
         )
 
     @property

@@ -39,7 +39,9 @@ from .builder import Builder, InsertPoint
 from .core import (
     Block,
     BlockArgument,
+    BlockOps,
     IRError,
+    OperandsView,
     Operation,
     OpResult,
     Region,
@@ -65,10 +67,14 @@ from .pipeline_spec import (
 )
 from .printer import Printer, print_op, value_name
 from .rewriter import (
+    REWRITE_STATS,
+    PatternIndex,
     PatternRewriter,
     RewritePattern,
+    RewriteStats,
     TypedPattern,
     apply_patterns,
+    apply_patterns_naive,
 )
 from .traits import (
     ConstantLike,
@@ -92,7 +98,7 @@ __all__ = [
     "AffineMap",
     # core
     "IRError", "Use", "SSAValue", "OpResult", "BlockArgument", "Operation",
-    "Block", "Region", "single_block_region",
+    "Block", "Region", "single_block_region", "BlockOps", "OperandsView",
     # builder
     "Builder", "InsertPoint",
     # printer / parser
@@ -100,6 +106,7 @@ __all__ = [
     "Parser", "ParseError", "parse_op", "parse_module",
     # rewriter
     "PatternRewriter", "RewritePattern", "TypedPattern", "apply_patterns",
+    "apply_patterns_naive", "PatternIndex", "RewriteStats", "REWRITE_STATS",
     # traits
     "OpTrait", "IsTerminator", "Pure", "HasMemoryEffect",
     "IsolatedFromAbove", "SameOperandsAndResultType", "ConstantLike",

@@ -142,6 +142,11 @@ class AffineMap(Attribute):
     def __init__(self, num_dims: int, exprs: Sequence[AffineExpr]):
         object.__setattr__(self, "num_dims", num_dims)
         object.__setattr__(self, "exprs", tuple(exprs))
+        # Derived-data cache (unit deltas, linearity): maps are
+        # immutable, but these are re-queried by every scheduling pass
+        # and verifier round.  Not a dataclass field — stays out of
+        # __eq__/__hash__/__repr__.
+        object.__setattr__(self, "_derived", {})
 
     # -- constructors -------------------------------------------------------
 
@@ -183,28 +188,40 @@ class AffineMap(Attribute):
 
     def is_linear(self) -> bool:
         """Check linearity by probing superposition on the unit vectors."""
+        cached = self._derived.get("is_linear")
+        if cached is not None:
+            return cached
         zero = self.evaluate((0,) * self.num_dims)
+        deltas = self.unit_deltas()
+        result = True
         for d in range(self.num_dims):
+            unit = deltas[d]
             for scale in (1, 2, 5):
                 point = [0] * self.num_dims
                 point[d] = scale
                 got = self.evaluate(point)
-                unit = self.unit_deltas()[d]
                 want = tuple(z + scale * u for z, u in zip(zero, unit))
                 if got != want:
-                    return False
-        return True
+                    result = False
+                    break
+            if not result:
+                break
+        self._derived["is_linear"] = result
+        return result
 
     def unit_deltas(self) -> list[tuple[int, ...]]:
         """Per-dimension deltas of the results for a unit step in that dim."""
-        zero = self.evaluate((0,) * self.num_dims)
-        deltas = []
-        for d in range(self.num_dims):
-            point = [0] * self.num_dims
-            point[d] = 1
-            at_one = self.evaluate(point)
-            deltas.append(tuple(a - z for a, z in zip(at_one, zero)))
-        return deltas
+        cached = self._derived.get("unit_deltas")
+        if cached is None:
+            zero = self.evaluate((0,) * self.num_dims)
+            cached = []
+            for d in range(self.num_dims):
+                point = [0] * self.num_dims
+                point[d] = 1
+                at_one = self.evaluate(point)
+                cached.append(tuple(a - z for a, z in zip(at_one, zero)))
+            self._derived["unit_deltas"] = cached
+        return list(cached)
 
     def compose_with_values(
         self, dims: Sequence[int]

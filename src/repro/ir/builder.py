@@ -3,6 +3,11 @@
 A :class:`Builder` tracks an insertion point inside a block and appends
 operations there, mirroring MLIR's ``OpBuilder``.  All kernel builders and
 lowering passes construct IR through it.
+
+Insertion points are *anchor-based*: a point is "before ``anchor``" (or
+"at the end" when the anchor is ``None``), so every insertion is an O(1)
+linked-list splice and the point stays valid across unrelated mutations
+of the same block — no positional index to maintain.
 """
 
 from __future__ import annotations
@@ -15,37 +20,61 @@ OpT = TypeVar("OpT", bound=Operation)
 
 
 class InsertPoint:
-    """A position inside a block where new operations are inserted."""
+    """A position inside a block where new operations are inserted.
 
-    __slots__ = ("block", "index")
+    ``anchor`` is the operation new ops are inserted *before*; ``None``
+    means "append at the end of the block" — unless ``at_block_start``
+    is set, in which case the point tracks the (possibly changing)
+    start of the block itself.
+    """
 
-    def __init__(self, block: Block, index: int):
+    __slots__ = ("block", "anchor", "at_block_start")
+
+    def __init__(
+        self,
+        block: Block,
+        anchor: Operation | None = None,
+        at_block_start: bool = False,
+    ):
+        if anchor is not None and anchor.parent is not block:
+            raise IRError("insertion anchor not in block")
         self.block = block
-        self.index = index
+        self.anchor = anchor
+        self.at_block_start = at_block_start
+
+    @property
+    def index(self) -> int:
+        """The positional index of this point (O(n); for inspection)."""
+        if self.at_block_start:
+            return 0
+        if self.anchor is None:
+            return len(self.block.ops)
+        return self.block.index_of(self.anchor)
 
     @staticmethod
     def at_end(block: Block) -> "InsertPoint":
         """Insertion point after the last operation of ``block``."""
-        return InsertPoint(block, len(block.ops))
+        return InsertPoint(block, None)
 
     @staticmethod
     def at_start(block: Block) -> "InsertPoint":
-        """Insertion point before the first operation of ``block``."""
-        return InsertPoint(block, 0)
+        """Insertion point before the first operation of ``block``
+        (tracking the block start even as ops are added around it)."""
+        return InsertPoint(block, None, at_block_start=True)
 
     @staticmethod
     def before(op: Operation) -> "InsertPoint":
         """Insertion point immediately before ``op``."""
         if op.parent is None:
             raise IRError("operation is not attached to a block")
-        return InsertPoint(op.parent, op.parent.index_of(op))
+        return InsertPoint(op.parent, op)
 
     @staticmethod
     def after(op: Operation) -> "InsertPoint":
         """Insertion point immediately after ``op``."""
         if op.parent is None:
             raise IRError("operation is not attached to a block")
-        return InsertPoint(op.parent, op.parent.index_of(op) + 1)
+        return InsertPoint(op.parent, op.next_op)
 
 
 class Builder:
@@ -75,8 +104,22 @@ class Builder:
 
     def insert(self, op: OpT) -> OpT:
         """Insert ``op`` at the current point and advance past it."""
-        self.insert_point.block.insert_op(self.insert_point.index, op)
-        self.insert_point.index += 1
+        point = self.insert_point
+        if point.at_block_start:
+            # First insertion lands at the block start; the point then
+            # becomes an ordinary anchor so subsequent inserts keep
+            # source order.
+            first = point.block.first_op
+            if first is None:
+                point.block.add_op(op)
+            else:
+                point.block.insert_op_before(op, first)
+            point.at_block_start = False
+            point.anchor = op.next_op
+        elif point.anchor is None:
+            point.block.add_op(op)
+        else:
+            point.block.insert_op_before(op, point.anchor)
         return op
 
     def insert_all(self, ops: Sequence[Operation]) -> None:

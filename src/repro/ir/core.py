@@ -9,6 +9,14 @@ expressed with *blocks and regions*.
 
 Use-def chains are maintained eagerly so the register allocator can perform
 its backwards walk (Section 3.3) and so rewrites can do RAUW safely.
+
+Operations are linked into their block *intrusively*: every
+:class:`Operation` carries ``prev_op``/``next_op`` pointers, so
+insert-before/after, detach and erase are O(1) regardless of block size —
+the property that keeps rewriting linear in module size on the large
+unrolled kernels of the evaluation sweeps (Figures 10/11).
+:attr:`Block.ops` and :attr:`Operation.operands` are lightweight live
+views, not per-access tuple copies.
 """
 
 from __future__ import annotations
@@ -108,7 +116,11 @@ class OpResult(SSAValue):
         index: int,
         name_hint: str | None = None,
     ):
-        super().__init__(type, name_hint)
+        # Inlined SSAValue.__init__ (results are built per op on the
+        # hottest construction path).
+        self.type = type
+        self.uses = []
+        self.name_hint = name_hint
         self.op = op
         self.index = index
 
@@ -139,6 +151,135 @@ class BlockArgument(SSAValue):
 
 
 # ---------------------------------------------------------------------------
+# Lightweight sequence views
+# ---------------------------------------------------------------------------
+
+
+class OperandsView:
+    """A live, read-only view of an operation's operand list.
+
+    Reflects mutations through :meth:`Operation.set_operand` /
+    :meth:`Operation.add_operand` immediately; supports the sequence
+    protocol without allocating a fresh tuple per access.  Callers that
+    need snapshot semantics take an explicit ``tuple(op.operands)``.
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values: list[SSAValue]):
+        self._values = values
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self) -> Iterator[SSAValue]:
+        return iter(self._values)
+
+    def __reversed__(self) -> Iterator[SSAValue]:
+        return reversed(self._values)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return tuple(self._values[index])
+        return self._values[index]
+
+    def __contains__(self, value) -> bool:
+        return value in self._values
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, OperandsView):
+            other = other._values
+        if not isinstance(other, (list, tuple)):
+            return NotImplemented
+        return len(self._values) == len(other) and all(
+            a == b for a, b in zip(self._values, other)
+        )
+
+    def __repr__(self) -> str:
+        return f"OperandsView({self._values!r})"
+
+
+class BlockOps:
+    """A live view of a block's operation list (intrusive linked list).
+
+    Iteration is mutation-safe against *erasing the op just yielded*:
+    the successor is captured before each yield.  ``len`` is O(1);
+    positional indexing is O(index) and intended for tests and
+    small-block inspection, not hot paths.
+    """
+
+    __slots__ = ("_block",)
+
+    def __init__(self, block: "Block"):
+        self._block = block
+
+    def __len__(self) -> int:
+        return self._block._num_ops
+
+    def __bool__(self) -> bool:
+        return self._block._first_op is not None
+
+    def __iter__(self) -> Iterator["Operation"]:
+        op = self._block._first_op
+        while op is not None:
+            next_op = op.next_op
+            yield op
+            op = next_op
+
+    def __reversed__(self) -> Iterator["Operation"]:
+        op = self._block._last_op
+        while op is not None:
+            prev_op = op.prev_op
+            yield op
+            op = prev_op
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return tuple(self)[index]
+        count = self._block._num_ops
+        if index < 0:
+            index += count
+        if not 0 <= index < count:
+            raise IndexError("block op index out of range")
+        # Walk from the nearer end.
+        if index <= count // 2:
+            op = self._block._first_op
+            for _ in range(index):
+                op = op.next_op
+        else:
+            op = self._block._last_op
+            for _ in range(count - 1 - index):
+                op = op.prev_op
+        return op
+
+    def __contains__(self, op) -> bool:
+        return (
+            isinstance(op, Operation) and op.parent is self._block
+        )
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, BlockOps):
+            if other._block is self._block:
+                return True
+            other = tuple(other)
+        if not isinstance(other, (list, tuple)):
+            return NotImplemented
+        if self._block._num_ops != len(other):
+            return False
+        return all(a is b for a, b in zip(self, other))
+
+    def index(self, op: "Operation") -> int:
+        """Position of ``op`` in the block (O(n))."""
+        for i, existing in enumerate(self):
+            if existing is op:
+                return i
+        raise IRError("operation not in block")
+
+    def __repr__(self) -> str:
+        return f"BlockOps({list(self)!r})"
+
+
+# ---------------------------------------------------------------------------
 # Operations
 # ---------------------------------------------------------------------------
 
@@ -150,13 +291,25 @@ class Operation:
     ``traits`` and usually provide a typed ``__init__`` plus properties for
     named operand/result access.  Storage is fully generic, so passes can
     treat all operations uniformly.
+
+    ``prev_op``/``next_op`` are the intrusive block-list links; they are
+    ``None`` while the operation is detached.
     """
 
     name = "builtin.unregistered"
     #: Set of trait classes (see :mod:`repro.ir.traits`).
     traits: frozenset = frozenset()
 
-    __slots__ = ("_operands", "results", "attributes", "regions", "parent")
+    __slots__ = (
+        "_operands",
+        "_operands_view",
+        "results",
+        "attributes",
+        "regions",
+        "parent",
+        "prev_op",
+        "next_op",
+    )
 
     def __init__(
         self,
@@ -165,24 +318,40 @@ class Operation:
         attributes: dict[str, Attribute] | None = None,
         regions: Sequence["Region"] = (),
     ):
-        self._operands: list[SSAValue] = []
+        operand_list: list[SSAValue] = []
+        self._operands = operand_list
+        self._operands_view = None
         self.results: list[OpResult] = [
             OpResult(t, self, i) for i, t in enumerate(result_types)
         ]
-        self.attributes: dict[str, Attribute] = dict(attributes or {})
+        self.attributes: dict[str, Attribute] = (
+            {} if attributes is None else dict(attributes)
+        )
         self.regions: list[Region] = []
         self.parent: Block | None = None
+        self.prev_op: Operation | None = None
+        self.next_op: Operation | None = None
         for value in operands:
-            self.add_operand(value)
+            # Inlined add_operand: construction is the hottest IR path.
+            if not isinstance(value, SSAValue):
+                raise IRError(
+                    f"operand of {self.name} must be an SSAValue, got "
+                    f"{type(value).__name__}"
+                )
+            value.uses.append(Use(self, len(operand_list)))
+            operand_list.append(value)
         for region in regions:
             self.add_region(region)
 
     # -- operand management --------------------------------------------------
 
     @property
-    def operands(self) -> tuple[SSAValue, ...]:
-        """The operation's operands, as an immutable view."""
-        return tuple(self._operands)
+    def operands(self) -> OperandsView:
+        """The operation's operands, as a live read-only view."""
+        view = self._operands_view
+        if view is None:
+            view = self._operands_view = OperandsView(self._operands)
+        return view
 
     def add_operand(self, value: SSAValue) -> None:
         """Append ``value`` to the operand list, recording the use."""
@@ -209,7 +378,7 @@ class Operation:
         self._operands.clear()
         for region in self.regions:
             for block in region.blocks:
-                for op in list(block.ops):
+                for op in block.ops:
                     op.drop_all_references()
 
     # -- region management ----------------------------------------------------
@@ -260,13 +429,55 @@ class Operation:
             op = op.parent_op
         return False
 
-    def walk(self) -> Iterator["Operation"]:
-        """Pre-order traversal of this op and all nested operations."""
-        yield self
+    def is_attached_to(self, root: "Operation") -> bool:
+        """Whether this op's parent chain reaches ``root``.
+
+        ``False`` for ops hanging off a detached/erased subtree — even
+        when their own ``parent`` link is still set (erasing an op
+        detaches the op itself but leaves the internal links of its
+        regions intact).  Rewrite drivers use this to drop stale
+        worklist entries.
+        """
+        op = self
+        while op is not root:
+            block = op.parent
+            if block is None or block.parent is None:
+                return False
+            op = block.parent.parent
+            if op is None:
+                return False
+        return True
+
+    def _nested_ops(self) -> Iterator["Operation"]:
+        """Direct child operations, across all regions and blocks."""
         for region in self.regions:
             for block in region.blocks:
-                for op in list(block.ops):
-                    yield from op.walk()
+                op = block._first_op
+                while op is not None:
+                    next_op = op.next_op
+                    yield op
+                    op = next_op
+
+    def walk(self) -> Iterator["Operation"]:
+        """Pre-order traversal of this op and all nested operations.
+
+        Iterative (no recursive generator chain) and copy-free: block
+        successors are captured before each yield, so erasing the
+        yielded op itself is safe.  Callers that erase *other* ops
+        mid-walk should snapshot with ``list(root.walk())`` first.
+        """
+        yield self
+        if not self.regions:
+            return
+        stack: list[Iterator[Operation]] = [self._nested_ops()]
+        while stack:
+            op = next(stack[-1], None)
+            if op is None:
+                stack.pop()
+                continue
+            yield op
+            if op.regions:
+                stack.append(op._nested_ops())
 
     def walk_type(self, kind: type[OpT]) -> Iterator[OpT]:
         """Walk, filtered to operations of the given type."""
@@ -286,8 +497,7 @@ class Operation:
         """Remove this operation from its parent block (keeping uses)."""
         if self.parent is None:
             return
-        self.parent._ops.remove(self)
-        self.parent = None
+        self.parent._unlink(self)
 
     def erase(self) -> None:
         """Remove and destroy this operation.
@@ -310,37 +520,108 @@ class Operation:
 
 
 class Block:
-    """A straight-line sequence of operations with block arguments."""
+    """A straight-line sequence of operations with block arguments.
 
-    __slots__ = ("args", "_ops", "parent")
+    Operations are stored as an intrusive doubly-linked list threaded
+    through :attr:`Operation.prev_op`/:attr:`Operation.next_op`:
+    insertion at either end or around an existing op, detaching and
+    erasing are all O(1).
+    """
+
+    __slots__ = (
+        "args",
+        "_first_op",
+        "_last_op",
+        "_num_ops",
+        "_ops_view",
+        "parent",
+    )
 
     def __init__(self, arg_types: Sequence[TypeAttribute] = ()):
         self.args: list[BlockArgument] = [
             BlockArgument(t, self, i) for i, t in enumerate(arg_types)
         ]
-        self._ops: list[Operation] = []
+        self._first_op: Operation | None = None
+        self._last_op: Operation | None = None
+        self._num_ops = 0
+        self._ops_view: BlockOps | None = None
         self.parent: Region | None = None
 
     # -- op list management ---------------------------------------------------
 
     @property
-    def ops(self) -> tuple[Operation, ...]:
-        """The operations of the block, as an immutable view."""
-        return tuple(self._ops)
+    def ops(self) -> BlockOps:
+        """The operations of the block, as a live sequence view."""
+        view = self._ops_view
+        if view is None:
+            view = self._ops_view = BlockOps(self)
+        return view
 
     @property
     def first_op(self) -> Operation | None:
         """First operation, or ``None`` if the block is empty."""
-        return self._ops[0] if self._ops else None
+        return self._first_op
 
     @property
     def last_op(self) -> Operation | None:
         """Last operation, or ``None`` if the block is empty."""
-        return self._ops[-1] if self._ops else None
+        return self._last_op
+
+    def _check_detached(self, op: Operation) -> None:
+        if op.parent is not None:
+            raise IRError("operation already attached to a block")
+
+    def _link(
+        self,
+        op: Operation,
+        prev_op: Operation | None,
+        next_op: Operation | None,
+    ) -> None:
+        """Splice a detached ``op`` between ``prev_op`` and ``next_op``."""
+        op.prev_op = prev_op
+        op.next_op = next_op
+        if prev_op is None:
+            self._first_op = op
+        else:
+            prev_op.next_op = op
+        if next_op is None:
+            self._last_op = op
+        else:
+            next_op.prev_op = op
+        op.parent = self
+        self._num_ops += 1
+
+    def _unlink(self, op: Operation) -> None:
+        """O(1) removal of an attached ``op`` from the list."""
+        prev_op, next_op = op.prev_op, op.next_op
+        if prev_op is None:
+            self._first_op = next_op
+        else:
+            prev_op.next_op = next_op
+        if next_op is None:
+            self._last_op = prev_op
+        else:
+            next_op.prev_op = prev_op
+        op.prev_op = None
+        op.next_op = None
+        op.parent = None
+        self._num_ops -= 1
 
     def add_op(self, op: Operation) -> None:
-        """Append ``op`` at the end of the block."""
-        self.insert_op(len(self._ops), op)
+        """Append ``op`` at the end of the block (O(1))."""
+        if op.parent is not None:
+            raise IRError("operation already attached to a block")
+        # Inlined append fast path: building IR is the hottest loop of
+        # every lowering pass.
+        last = self._last_op
+        op.prev_op = last
+        if last is None:
+            self._first_op = op
+        else:
+            last.next_op = op
+        self._last_op = op
+        op.parent = self
+        self._num_ops += 1
 
     def add_ops(self, ops: Iterable[Operation]) -> None:
         """Append several operations at the end of the block."""
@@ -348,26 +629,38 @@ class Block:
             self.add_op(op)
 
     def insert_op(self, index: int, op: Operation) -> None:
-        """Insert ``op`` at position ``index``."""
-        if op.parent is not None:
-            raise IRError("operation already attached to a block")
-        self._ops.insert(index, op)
-        op.parent = self
+        """Insert ``op`` at position ``index`` (O(index); prefer the
+        anchor-based ``insert_op_before``/``insert_op_after``)."""
+        self._check_detached(op)
+        if not 0 <= index <= self._num_ops:
+            raise IRError("insertion index out of range")
+        if index == self._num_ops:
+            self._link(op, self._last_op, None)
+            return
+        anchor = self._first_op
+        for _ in range(index):
+            anchor = anchor.next_op
+        self._link(op, anchor.prev_op, anchor)
 
     def insert_op_before(self, op: Operation, before: Operation) -> None:
-        """Insert ``op`` immediately before ``before`` (must be in block)."""
-        self.insert_op(self.index_of(before), op)
+        """Insert ``op`` immediately before ``before`` (O(1))."""
+        self._check_detached(op)
+        if before.parent is not self:
+            raise IRError("anchor operation not in block")
+        self._link(op, before.prev_op, before)
 
     def insert_op_after(self, op: Operation, after: Operation) -> None:
-        """Insert ``op`` immediately after ``after`` (must be in block)."""
-        self.insert_op(self.index_of(after) + 1, op)
+        """Insert ``op`` immediately after ``after`` (O(1))."""
+        self._check_detached(op)
+        if after.parent is not self:
+            raise IRError("anchor operation not in block")
+        self._link(op, after, after.next_op)
 
     def index_of(self, op: Operation) -> int:
-        """Position of ``op`` in this block."""
-        for i, existing in enumerate(self._ops):
-            if existing is op:
-                return i
-        raise IRError("operation not in block")
+        """Position of ``op`` in this block (O(n); debugging/tests)."""
+        if op.parent is not self:
+            raise IRError("operation not in block")
+        return self.ops.index(op)
 
     # -- argument management ----------------------------------------------------
 
@@ -387,7 +680,7 @@ class Block:
         return self.parent.parent if self.parent is not None else None
 
     def __repr__(self) -> str:
-        return f"<Block with {len(self._ops)} ops>"
+        return f"<Block with {self._num_ops} ops>"
 
 
 class Region:
@@ -437,6 +730,8 @@ __all__ = [
     "SSAValue",
     "OpResult",
     "BlockArgument",
+    "OperandsView",
+    "BlockOps",
     "Operation",
     "Block",
     "Region",

@@ -15,6 +15,7 @@ from typing import Callable, Sequence
 
 from .core import Operation
 from .printer import print_op
+from .rewriter import REWRITE_STATS
 from .verifier import verify
 
 #: Callbacks invoked with every newly defined :class:`ModulePass`
@@ -107,6 +108,9 @@ class PassManager:
         self.snapshots: list[tuple[str, str]] = []
         #: (pass name, seconds) pairs, recorded on every run.
         self.timings: list[tuple[str, float]] = []
+        #: (pass name, rewrite-driver counter deltas) pairs: ops visited,
+        #: pattern invocations and rewrites applied by each pass.
+        self.pass_stats: list[tuple[str, dict[str, int]]] = []
 
     def add(self, pass_: ModulePass) -> "PassManager":
         """Append a pass; returns self for chaining."""
@@ -120,10 +124,14 @@ class PassManager:
         for pass_ in self.passes:
             if self.instrument is not None:
                 self.instrument.before_pass(pass_, module)
+            stats_before = REWRITE_STATS.snapshot()
             start = time.perf_counter()
             pass_.run(module)
             elapsed = time.perf_counter() - start
             self.timings.append((pass_.name, elapsed))
+            self.pass_stats.append(
+                (pass_.name, REWRITE_STATS.delta(stats_before))
+            )
             if self.verify_each:
                 verify(module)
             if self.instrument is not None:

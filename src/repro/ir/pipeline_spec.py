@@ -127,12 +127,33 @@ class _Cursor:
                 out.append(char)
 
 
+#: Parsed-spec cache: named pipelines are parsed on every ``Compiler``
+#: construction, and specs are immutable enough to share (the registry
+#: only reads them).  Bounded to keep adversarial inputs from pinning
+#: memory.
+_PARSE_CACHE: dict[str, list[PassSpec]] = {}
+_PARSE_CACHE_LIMIT = 256
+
+
 def parse_pipeline_spec(text: str) -> list[PassSpec]:
     """Parse a textual pipeline spec into a list of :class:`PassSpec`.
 
     Raises :class:`PipelineSpecError` with the offending column on any
     syntax error.  An empty/whitespace spec is the empty pipeline.
+    Results are cached per spec string; callers receive a fresh list of
+    shared :class:`PassSpec` values.
     """
+    cached = _PARSE_CACHE.get(text)
+    if cached is None:
+        cached = _parse_pipeline_spec_uncached(text)
+        if len(_PARSE_CACHE) < _PARSE_CACHE_LIMIT:
+            _PARSE_CACHE[text] = cached
+    # Fresh PassSpec copies: options dicts are public and mutable, and
+    # a caller's mutation must not poison the cache.
+    return [PassSpec(spec.name, dict(spec.options)) for spec in cached]
+
+
+def _parse_pipeline_spec_uncached(text: str) -> list[PassSpec]:
     cursor = _Cursor(text)
     specs: list[PassSpec] = []
     cursor.skip_ws()
@@ -202,6 +223,20 @@ def print_pipeline_spec(specs) -> str:
     return ",".join(parts)
 
 
+#: Per-pass-class constructor signature cache: ``inspect.signature`` is
+#: far too slow to recompute on every ``pass_to_spec`` call (it showed
+#: up as the dominant cost of ``Compiler()`` construction).
+_SIGNATURE_CACHE: dict[type, "inspect.Signature"] = {}
+
+
+def _class_signature(cls: type) -> "inspect.Signature":
+    signature = _SIGNATURE_CACHE.get(cls)
+    if signature is None:
+        signature = inspect.signature(cls.__init__)
+        _SIGNATURE_CACHE[cls] = signature
+    return signature
+
+
 def pass_to_spec(pass_) -> PassSpec:
     """Recover the :class:`PassSpec` of a constructed pass instance.
 
@@ -212,7 +247,7 @@ def pass_to_spec(pass_) -> PassSpec:
     registry.
     """
     options: dict[str, OptionValue] = {}
-    signature = inspect.signature(type(pass_).__init__)
+    signature = _class_signature(type(pass_))
     for parameter in list(signature.parameters.values())[1:]:
         if parameter.kind in (
             inspect.Parameter.VAR_POSITIONAL,

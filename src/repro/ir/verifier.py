@@ -4,11 +4,17 @@ Checks the invariants every pass relies on: operands dominate their uses
 within a block, terminators sit last, use-def bookkeeping is consistent,
 and op-specific ``verify_`` hooks pass.  Running the verifier between
 pipeline stages is how the test suite catches mis-lowerings early.
+
+The walk is O(ops + uses): scope sets are allocated per *block* (never
+per op), use lists are indexed once per value (no per-use rescans of
+multi-use values), and the use-list and dominance checks share one pass
+over each op's operands — ``verify_each`` pipelines stay cheap on large
+unrolled kernels.
 """
 
 from __future__ import annotations
 
-from .core import Block, BlockArgument, IRError, Operation, OpResult, Region
+from .core import Block, IRError, Operation, Region
 from .traits import IsolatedFromAbove, IsTerminator
 
 
@@ -18,60 +24,132 @@ class VerificationError(IRError):
 
 def verify(op: Operation) -> None:
     """Verify ``op`` and everything nested inside it."""
-    _verify_op(op, enclosing_values=set())
+    use_sets: dict[int, set[tuple[int, int]]] = {}
+    _check_use_list(op, use_sets)
+    op.verify_()
+    _verify_regions(op, set(), use_sets)
 
 
-def _verify_op(op: Operation, enclosing_values: set[int]) -> None:
-    for index, operand in enumerate(op.operands):
-        if not any(
-            use.operation is op and use.index == index
-            for use in operand.uses
-        ):
+def _check_use_list(
+    op: Operation, use_sets: dict[int, set[tuple[int, int]]]
+) -> None:
+    """Every operand's use list must record this op at this index.
+
+    ``use_sets`` memoizes each value's use list as a set of
+    ``(id(op), index)`` pairs for the duration of one ``verify`` call,
+    so a value with many uses is indexed once instead of rescanned at
+    every use site.
+    """
+    for index, operand in enumerate(op._operands):
+        if not _use_recorded(op, index, operand, use_sets):
             raise VerificationError(
                 f"{op.name}: operand #{index} missing from use list"
             )
-    op.verify_()
 
-    visible = set(enclosing_values)
-    if op.has_trait(IsolatedFromAbove):
-        visible = set()
+
+def _use_recorded(op, index, operand, use_sets) -> bool:
+    """Whether ``operand.uses`` records ``op.operands[index]``.
+
+    Short use lists are scanned directly; long ones (shared constants,
+    induction variables) are indexed once per ``verify`` call so the
+    check stays O(1) per use instead of O(uses) per use.
+    """
+    uses = operand.uses
+    if len(uses) <= 4:
+        for use in uses:
+            if use.operation is op and use.index == index:
+                return True
+        return False
+    key = id(operand)
+    use_set = use_sets.get(key)
+    if use_set is None:
+        use_set = {(id(u.operation), u.index) for u in uses}
+        use_sets[key] = use_set
+    return (id(op), index) in use_set
+
+
+#: Op classes overriding the (no-op) default ``verify_`` hook — skips
+#: a virtual call per op per round for the common hook-less classes.
+#: Probed inline by ``_verify_block`` (its hot loop deliberately
+#: inlines both this cache lookup and ``_use_recorded``'s short-list
+#: fast path).
+_HAS_VERIFY_HOOK: dict[type, bool] = {}
+
+
+def _verify_regions(
+    op: Operation,
+    enclosing_values: set[int],
+    use_sets: dict[int, set[tuple[int, int]]],
+) -> None:
+    if IsolatedFromAbove in type(op).traits:
+        enclosing_values = _EMPTY_SCOPE
     for region in op.regions:
-        _verify_region(region, visible)
+        for block in region.blocks:
+            _verify_block(block, enclosing_values, use_sets)
 
 
-def _verify_region(region: Region, enclosing_values: set[int]) -> None:
-    for block in region.blocks:
-        _verify_block(block, enclosing_values)
+#: Shared empty scope for isolated-from-above regions (read-only here:
+#: blocks copy it before defining values).
+_EMPTY_SCOPE: set[int] = set()
 
 
-def _verify_block(block: Block, enclosing_values: set[int]) -> None:
+def _verify_block(
+    block: Block,
+    enclosing_values: set[int],
+    use_sets: dict[int, set[tuple[int, int]]],
+) -> None:
+    # One scope copy per block (values defined here must not leak to
+    # sibling blocks); individual ops read it without copying.  The op
+    # list and operand storage are accessed directly — this loop runs
+    # after every pass of every pipeline.
     defined = set(enclosing_values)
+    defined_add = defined.add
     for arg in block.args:
-        defined.add(id(arg))
-    ops = block.ops
-    for position, op in enumerate(ops):
+        defined_add(id(arg))
+    last_op = block.last_op
+    has_hook_cache = _HAS_VERIFY_HOOK
+    op = block.first_op
+    while op is not None:
         if op.parent is not block:
             raise VerificationError(f"{op.name}: wrong parent block")
-        for operand in op.operands:
-            if isinstance(operand, OpResult):
-                if id(operand) not in defined:
+        for index, operand in enumerate(op._operands):
+            # Use-list consistency and dominance in one operand pass
+            # (short use lists scanned inline; long ones via the memo).
+            uses = operand.uses
+            if len(uses) <= 4:
+                for use in uses:
+                    if use.operation is op and use.index == index:
+                        break
+                else:
                     raise VerificationError(
-                        f"{op.name}: operand {operand!r} does not dominate "
-                        "its use"
+                        f"{op.name}: operand #{index} missing from "
+                        "use list"
                     )
-            elif isinstance(operand, BlockArgument):
-                if id(operand) not in defined:
-                    raise VerificationError(
-                        f"{op.name}: block argument {operand!r} not in scope"
-                    )
-        if op.has_trait(IsTerminator) and position != len(ops) - 1:
+            elif not _use_recorded(op, index, operand, use_sets):
+                raise VerificationError(
+                    f"{op.name}: operand #{index} missing from use list"
+                )
+            if id(operand) not in defined:
+                raise VerificationError(
+                    f"{op.name}: operand {operand!r} does not dominate "
+                    "its use (or is not in scope)"
+                )
+        cls = op.__class__
+        if IsTerminator in cls.traits and op is not last_op:
             raise VerificationError(
                 f"{op.name}: terminator is not the last op of its block"
             )
-        nested_visible = set(defined)
-        _verify_op(op, nested_visible)
+        hook = has_hook_cache.get(cls)
+        if hook is None:
+            hook = cls.verify_ is not Operation.verify_
+            has_hook_cache[cls] = hook
+        if hook:
+            op.verify_()
+        if op.regions:
+            _verify_regions(op, defined, use_sets)
         for result in op.results:
-            defined.add(id(result))
+            defined_add(id(result))
+        op = op.next_op
 
 
 __all__ = ["VerificationError", "verify"]

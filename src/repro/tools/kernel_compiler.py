@@ -107,6 +107,12 @@ def build_argument_parser() -> argparse.ArgumentParser:
         "with compilation)",
     )
     parser.add_argument(
+        "--time-passes",
+        action="store_true",
+        help="print a per-pass table of wall-clock time and rewrite-"
+        "driver counters (ops visited, pattern invocations, rewrites)",
+    )
+    parser.add_argument(
         "--no-asm", action="store_true", help="do not print the assembly"
     )
     parser.add_argument(
@@ -152,6 +158,38 @@ def compile_kernel(
     return spec, compiled
 
 
+def print_pass_timings(compiled) -> None:
+    """The per-pass wall-clock + rewrite-counter table (--time-passes).
+
+    ``pass_timings`` and ``pass_stats`` are parallel lists (one entry
+    per executed pass, in order), so rows are zipped — a pipeline may
+    legitimately run the same pass name more than once.
+    """
+    width = max(
+        [len(name) for name, _ in compiled.pass_timings] + [4]
+    )
+    header = (
+        f"{'pass':<{width}} {'seconds':>10} {'visited':>8} "
+        f"{'invoked':>8} {'rewrites':>8}"
+    )
+    print("=== compile-time per pass ===")
+    print(header)
+    print("-" * len(header))
+    total = 0.0
+    for (name, seconds), (_, stats) in zip(
+        compiled.pass_timings, compiled.pass_stats
+    ):
+        total += seconds
+        print(
+            f"{name:<{width}} {seconds:>10.6f} "
+            f"{stats.get('ops_visited', 0):>8} "
+            f"{stats.get('pattern_invocations', 0):>8} "
+            f"{stats.get('rewrites_applied', 0):>8}"
+        )
+    print("-" * len(header))
+    print(f"{'total':<{width}} {total:>10.6f}")
+
+
 def report_run(spec, compiled, seed: int) -> "api.KernelRun":
     """Simulate, validate and print the paper's metrics."""
     arguments = spec.random_arguments(seed=seed)
@@ -192,6 +230,8 @@ def main(argv=None) -> int:
         for name, text in compiled.snapshots:
             print(f"// ===== after {name} =====")
             print(text)
+    if args.time_passes:
+        print_pass_timings(compiled)
     if not args.no_asm:
         print(compiled.asm)
     if args.run or args.compare:

@@ -27,14 +27,17 @@ class CanonicalizePass(ModulePass):
     name = "canonicalize"
 
     def run(self, module: Operation) -> None:
-        for op in list(module.walk()):
+        # Single lazy walk; blocks are canonicalized when their owning
+        # op is yielded, before the walk descends into them, so erased
+        # ops are never visited and no snapshot copies are needed.
+        for op in module.walk():
             for region in op.regions:
                 for block in region.blocks:
                     self._canonicalize_block(block)
 
     def _canonicalize_block(self, block: Block) -> None:
         constants: dict[int, riscv.LiOp] = {}
-        for op in list(block.ops):
+        for op in block.ops:
             if isinstance(op, riscv.LiOp):
                 rd_type = op.rd.type
                 if rd_type.is_allocated:
@@ -58,7 +61,9 @@ class EliminateIdentityMovesPass(ModulePass):
     name = "eliminate-identity-moves"
 
     def run(self, module: Operation) -> None:
-        for op in list(module.walk()):
+        # The walk only ever erases the op just yielded (which holds no
+        # regions), so the copy-free iteration is safe.
+        for op in module.walk():
             if not isinstance(op, (riscv.MVOp, riscv.FMVOp)):
                 continue
             source_type = op.rs.type

@@ -32,6 +32,7 @@ from ..ir.attributes import (
 from ..ir.builder import Builder
 from ..ir.core import Block, IRError, Operation, SSAValue
 from ..ir.pass_manager import ModulePass
+from .lower_generic_to_pointer_loops import _insert_entry_constant
 
 
 class ConversionError(IRError):
@@ -63,7 +64,7 @@ class ConvertToRISCVPass(ModulePass):
 
     def run(self, module: Operation) -> None:
         block = module.body.block
-        for op in list(block.ops):
+        for op in block.ops:
             if isinstance(op, func_dialect.FuncOp):
                 new_func = _FuncConversion(op).convert()
                 block.insert_op_before(new_func, op)
@@ -81,7 +82,8 @@ class _FuncConversion:
         #: (this keeps baseline register pressure spill-free).
         self._constants: dict[int, SSAValue] = {}
         self._entry_block: Block | None = None
-        self._constant_count = 0
+        #: Last entry constant; successors splice in after it (O(1)).
+        self._last_constant: Operation | None = None
 
     def convert(self) -> riscv_func.FuncOp:
         kinds = []
@@ -136,8 +138,10 @@ class _FuncConversion:
         # Constants go to the *front* of the entry block so they
         # dominate every use; appends to the entry block's end are
         # unaffected.
-        self._entry_block.insert_op(self._constant_count, op)
-        self._constant_count += 1
+        _insert_entry_constant(
+            self._entry_block, op, self._last_constant
+        )
+        self._last_constant = op
         self._constants[value] = result
         return result
 

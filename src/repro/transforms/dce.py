@@ -1,9 +1,16 @@
-"""Dead code elimination for pure operations."""
+"""Dead code elimination for pure operations.
+
+A single backward pass: one walk collects every already-dead pure op
+into a worklist; erasing an op then pushes any of its operand-producers
+that just lost their last use.  Total work is O(ops + erased), not
+O(rounds x ops) — no module re-walks, regardless of how deep dead
+def-use chains go.
+"""
 
 from __future__ import annotations
 
 from ..dialects.riscv import FloatRegisterType, GetRegisterOp, IntRegisterType
-from ..ir.core import Operation
+from ..ir.core import Operation, OpResult
 from ..ir.pass_manager import ModulePass
 from ..ir.traits import Pure
 
@@ -27,28 +34,41 @@ def _writes_physical_register(op: Operation) -> bool:
     return False
 
 
+def _is_erasable(op: Operation) -> bool:
+    """Pure, region-free, result-unused, no pinned physical register."""
+    if op.regions or Pure not in type(op).traits:
+        return False
+    for result in op.results:
+        if result.uses:
+            return False
+    return not _writes_physical_register(op)
+
+
 class DeadCodeEliminationPass(ModulePass):
     """Erase pure ops (and constant materialisations) with no uses."""
 
     name = "dce"
 
     def run(self, module: Operation) -> None:
-        changed = True
-        while changed:
-            changed = False
-            for op in list(module.walk()):
-                if op.parent is None or op is module:
+        # Backward seed order so chains erase producer-last: a walk is
+        # pre-order, so popping from the end visits uses before defs.
+        worklist = [
+            op
+            for op in module.walk()
+            if op is not module and _is_erasable(op)
+        ]
+        while worklist:
+            op = worklist.pop()
+            if op.parent is None or not _is_erasable(op):
+                continue  # already erased, or revived since enqueued
+            operands = list(op.operands)
+            op.erase()
+            for value in operands:
+                if value.has_uses or not isinstance(value, OpResult):
                     continue
-                if not op.has_trait(Pure):
-                    continue
-                if op.regions:
-                    continue
-                if any(r.has_uses for r in op.results):
-                    continue
-                if _writes_physical_register(op):
-                    continue
-                op.erase()
-                changed = True
+                producer = value.op
+                if producer.parent is not None and _is_erasable(producer):
+                    worklist.append(producer)
 
 
 __all__ = ["DeadCodeEliminationPass"]

@@ -50,13 +50,9 @@ class _FuseFillPattern(TypedPattern):
     ) -> None:
         if not op.reduction_dims:
             return
-        block = op.parent
-        if block is None:
+        if op.parent is None:
             return
-        index = block.index_of(op)
-        if index == 0:
-            return
-        previous = block.ops[index - 1]
+        previous = op.prev_op
         if not isinstance(previous, memref_stream.GenericOp):
             return
         constant = fill_constant(previous)

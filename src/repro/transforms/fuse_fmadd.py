@@ -11,24 +11,19 @@ from __future__ import annotations
 from ..dialects import riscv
 from ..ir.core import Operation
 from ..ir.pass_manager import ModulePass
-from ..ir.rewriter import PatternRewriter, RewritePattern, apply_patterns
-
-#: fadd op -> (matching fmul op, fused fmadd op).
-_FUSABLE = {
-    riscv.FAddDOp: (riscv.FMulDOp, riscv.FMAddDOp),
-    riscv.FAddSOp: (riscv.FMulSOp, riscv.FMAddSOp),
-}
+from ..ir.rewriter import PatternRewriter, TypedPattern, apply_patterns
 
 
-class _FuseFMAddPattern(RewritePattern):
-    def match_and_rewrite(
-        self, op: Operation, rewriter: PatternRewriter
-    ) -> None:
-        fusable = _FUSABLE.get(type(op))
-        if fusable is None:
-            return
-        mul_class, fma_class = fusable
-        assert isinstance(op, (riscv.FAddDOp, riscv.FAddSOp))
+class _FuseFMAddPattern(TypedPattern):
+    """Typed per-width fusion: the driver dispatches by fadd class, so
+    non-fadd ops never invoke the pattern."""
+
+    #: The fmul producer class and the fused fmadd replacement.
+    mul_class: type[Operation]
+    fma_class: type[Operation]
+
+    def rewrite(self, op, rewriter: PatternRewriter) -> None:
+        mul_class, fma_class = self.mul_class, self.fma_class
         for mul_operand, addend in (
             (op.rs1, op.rs2),
             (op.rs2, op.rs1),
@@ -51,13 +46,25 @@ class _FuseFMAddPattern(RewritePattern):
             return
 
 
+class _FuseFMAddD(_FuseFMAddPattern):
+    op_type = riscv.FAddDOp
+    mul_class = riscv.FMulDOp
+    fma_class = riscv.FMAddDOp
+
+
+class _FuseFMAddS(_FuseFMAddPattern):
+    op_type = riscv.FAddSOp
+    mul_class = riscv.FMulSOp
+    fma_class = riscv.FMAddSOp
+
+
 class FuseFMAddPass(ModulePass):
     """Contract multiply-add chains into FMA instructions."""
 
     name = "fuse-fmadd"
 
     def run(self, module: Operation) -> None:
-        apply_patterns(module, [_FuseFMAddPattern()])
+        apply_patterns(module, [_FuseFMAddD(), _FuseFMAddS()])
 
 
 __all__ = ["FuseFMAddPass"]

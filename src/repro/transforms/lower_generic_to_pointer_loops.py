@@ -49,11 +49,24 @@ class LowerGenericToPointerLoopsPass(ModulePass):
 
     def run(self, module: Operation) -> None:
         block = module.body.block
-        for op in list(block.ops):
+        for op in block.ops:
             if isinstance(op, func_dialect.FuncOp):
                 new_func = _PointerLoopFunction(op).lower()
                 block.insert_op_before(new_func, op)
                 op.erase()
+
+
+def _insert_entry_constant(block, op, last_constant) -> None:
+    """Place a constant at the function-level pool: at the very start of
+    the entry block for the first one, directly after the previous one
+    otherwise — so constants keep materialisation order and dominate
+    every use."""
+    if last_constant is not None:
+        block.insert_op_after(op, last_constant)
+    elif block.first_op is not None:
+        block.insert_op_before(op, block.first_op)
+    else:
+        block.add_op(op)
 
 
 class _PointerLoopFunction:
@@ -65,7 +78,9 @@ class _PointerLoopFunction:
         self.current_block: Block | None = None
         self._entry_block: Block | None = None
         self._constants: dict[int, SSAValue] = {}
-        self._constant_count = 0
+        #: Last constant materialised at function entry; new constants
+        #: splice in right after it (O(1), keeps materialisation order).
+        self._last_constant: Operation | None = None
 
     def lower(self) -> riscv_func.FuncOp:
         kinds = []
@@ -116,8 +131,8 @@ class _PointerLoopFunction:
         else:
             op = riscv.LiOp(value)
             result = op.rd
-        self._entry_block.insert_op(self._constant_count, op)
-        self._constant_count += 1
+        _insert_entry_constant(self._entry_block, op, self._last_constant)
+        self._last_constant = op
         self._constants[value] = result
         return result
 

@@ -24,6 +24,18 @@ from ..ir.core import IRError, Operation
 from ..ir.pass_manager import ModulePass
 
 
+def _collect_loops_post_order(
+    op: Operation, out: list["riscv_scf.ForOp"]
+) -> None:
+    """Append every ``rv_scf.for`` under ``op``, children before parents."""
+    for region in op.regions:
+        for block in region.blocks:
+            for nested in block.ops:
+                _collect_loops_post_order(nested, out)
+                if isinstance(nested, riscv_scf.ForOp):
+                    out.append(nested)
+
+
 class LowerRiscvScfPass(ModulePass):
     """Flatten all structured for-loops into unstructured control flow."""
 
@@ -37,19 +49,15 @@ class LowerRiscvScfPass(ModulePass):
         return f".{stem}{self._counter}"
 
     def run(self, module: Operation) -> None:
-        # Innermost loops first so nested bodies are already flat.
-        changed = True
-        while changed:
-            changed = False
-            for op in list(module.walk()):
-                if isinstance(op, riscv_scf.ForOp) and not any(
-                    isinstance(inner, riscv_scf.ForOp)
-                    for inner in op.walk()
-                    if inner is not op
-                ):
-                    self._lower_loop(op)
-                    changed = True
-                    break
+        # Innermost loops first so nested bodies are already flat: one
+        # left-to-right post-order collection visits every loop before
+        # its ancestors (and preserves the sibling order the repeated
+        # innermost-first rescan used to produce, keeping label
+        # numbering — and thus assembly — identical).
+        loops: list[riscv_scf.ForOp] = []
+        _collect_loops_post_order(module, loops)
+        for loop in loops:
+            self._lower_loop(loop)
 
     def _lower_loop(self, loop: riscv_scf.ForOp) -> None:
         block = loop.parent
@@ -106,7 +114,7 @@ class LowerRiscvScfPass(ModulePass):
         yield_op = body_block.last_op
         assert isinstance(yield_op, riscv_scf.YieldOp)
         yield_op.erase()
-        for op in list(body_block.ops):
+        for op in body_block.ops:
             op.detach()
             block.insert_op_before(op, loop)
 

@@ -130,7 +130,7 @@ class _LowerStreamingRegion(TypedPattern):
                 raise IRError(
                     "stream handle still used after read lowering"
                 )
-        for body_op in list(body.ops):
+        for body_op in body.ops:
             body_op.detach()
             op.parent.insert_op_before(body_op, op)
         rewriter.insert_before(

@@ -88,7 +88,7 @@ class LowerToSnitchPass(ModulePass):
 
     def run(self, module: Operation) -> None:
         block = module.body.block
-        for op in list(block.ops):
+        for op in block.ops:
             if isinstance(op, func_dialect.FuncOp):
                 new_func = _FunctionLowering(op, self.use_frep).lower()
                 block.insert_op_before(new_func, op)

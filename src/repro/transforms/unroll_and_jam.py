@@ -169,7 +169,7 @@ def _interleave_body(op: memref_stream.GenericOp, factor: int) -> None:
                 mapping[id(old_res)] = new_res
     new_block.add_op(memref_stream.YieldOp(yielded))
     region = op.regions[0]
-    for body_op in list(old_block.ops):
+    for body_op in old_block.ops:
         body_op.drop_all_references()
         body_op.detach()
     region.blocks.clear()

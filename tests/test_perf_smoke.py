@@ -1,0 +1,58 @@
+"""Compile-time perf smoke tests (``pytest -m perf_smoke``).
+
+Wall-clock assertions are flaky on shared machines, so these check the
+machine-independent efficiency metric instead: the rewrite driver's
+counters, recorded per pass by the :class:`PassManager` instrumentation.
+The budgets have generous headroom over the worklist driver's actual
+numbers but sit far below the fixpoint re-walk driver's (which visited
+~220 ops compiling the same kernel), so any regression toward
+whole-module rescans trips them immediately.
+"""
+
+import pytest
+
+from repro import kernels
+from repro.compiler import Compiler
+
+#: Counter ceilings for matmul(1, 8, 8); the worklist driver uses
+#: ~14/14/10 and the old fixpoint driver used ~220 invocations.
+BUDGETS = {
+    "ours": {"ops_visited": 60, "pattern_invocations": 60},
+    "mlir": {"ops_visited": 40, "pattern_invocations": 40},
+}
+
+
+def _counter_totals(pipeline):
+    module, _ = kernels.matmul(1, 8, 8)
+    compiled = Compiler(pipeline).compile(module)
+    totals = {"ops_visited": 0, "pattern_invocations": 0}
+    for _, stats in compiled.pass_stats:
+        for key in totals:
+            totals[key] += stats[key]
+    return totals
+
+
+@pytest.mark.perf_smoke
+@pytest.mark.parametrize("pipeline", sorted(BUDGETS))
+def test_driver_counters_within_budget(pipeline):
+    totals = _counter_totals(pipeline)
+    for key, budget in BUDGETS[pipeline].items():
+        assert totals[key] <= budget, (
+            f"{pipeline}: {key} = {totals[key]} exceeds the perf-smoke "
+            f"budget of {budget}; the pattern driver regressed toward "
+            "whole-module rescans"
+        )
+
+
+@pytest.mark.perf_smoke
+def test_pass_stats_recorded_for_every_pass():
+    module, _ = kernels.matmul(1, 8, 8)
+    compiled = Compiler("ours").compile(module)
+    assert [n for n, _ in compiled.pass_stats] == [
+        n for n, _ in compiled.pass_timings
+    ]
+    assert all(
+        set(stats)
+        == {"ops_visited", "pattern_invocations", "rewrites_applied"}
+        for _, stats in compiled.pass_stats
+    )
