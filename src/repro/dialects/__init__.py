@@ -8,4 +8,11 @@ One module per dialect, split in two families exactly as in paper Figure 5:
   ``riscv`` / ``riscv_cf`` / ``riscv_func`` / ``riscv_scf`` (RISC-V ISA as
   multi-level SSA IR) and ``riscv_snitch`` / ``snitch_stream`` (Snitch ISA
   extensions: FREP and stream semantic registers).
+
+Operations are written against the declarative IRDL-style layer in
+:mod:`repro.ir.irdl`: field descriptors declare operands, results,
+attributes and regions, and each module exports a first-class
+:class:`~repro.ir.irdl.Dialect` object (``ARITH``, ``RISCV``, ...)
+that drives registration, the parser's name lookup and the generated
+dialect reference (see :mod:`repro.ir.op_registry`).
 """

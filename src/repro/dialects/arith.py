@@ -17,20 +17,29 @@ from ..ir.attributes import (
     TypeAttribute,
     index,
 )
-from ..ir.core import IRError, Operation, SSAValue
+from ..ir.core import IRError
+from ..ir.core import Operation
+from ..ir.irdl import (
+    Dialect,
+    SameAs,
+    attr_def,
+    irdl_op_definition,
+    operand_def,
+    result_def,
+)
 from ..ir.traits import ConstantLike, Pure, SameOperandsAndResultType
 
 
+@irdl_op_definition
 class ConstantOp(Operation):
     """Materializes a compile-time integer, index or float constant."""
 
     name = "arith.constant"
     traits = frozenset([Pure, ConstantLike])
+    __slots__ = ()
 
-    def __init__(self, value: Attribute, result_type: TypeAttribute):
-        super().__init__(
-            result_types=[result_type], attributes={"value": value}
-        )
+    value = attr_def(Attribute, raw=True, doc="The constant attribute.")
+    result = result_def(doc="The materialized value.")
 
     @staticmethod
     def from_int(value: int, result_type: TypeAttribute = index):
@@ -42,17 +51,7 @@ class ConstantOp(Operation):
         """A floating-point constant."""
         return ConstantOp(FloatAttr(value, result_type), result_type)
 
-    @property
-    def value(self) -> Attribute:
-        """The constant attribute."""
-        return self.attributes["value"]
-
-    @property
-    def result(self) -> SSAValue:
-        """The materialized value."""
-        return self.results[0]
-
-    def verify_(self) -> None:
+    def verify_extra_(self) -> None:
         value = self.value
         result_type = self.results[0].type
         if isinstance(value, FloatAttr) and not isinstance(
@@ -65,88 +64,83 @@ class ConstantOp(Operation):
             raise IRError("int constant must have an int/index result type")
 
 
+@irdl_op_definition
 class _BinaryOp(Operation):
-    """Shared shape of all elementwise binary arithmetic ops."""
+    """Shared shape of all elementwise binary arithmetic ops.
+
+    The generated verifier enforces :class:`SameOperandsAndResultType`,
+    which subsumes the arity/type checks these ops used to hand-write.
+    """
 
     traits = frozenset([Pure, SameOperandsAndResultType])
+    __slots__ = ()
 
-    def __init__(self, lhs: SSAValue, rhs: SSAValue):
-        super().__init__(operands=[lhs, rhs], result_types=[lhs.type])
-
-    @property
-    def lhs(self) -> SSAValue:
-        """Left operand."""
-        return self.operands[0]
-
-    @property
-    def rhs(self) -> SSAValue:
-        """Right operand."""
-        return self.operands[1]
-
-    @property
-    def result(self) -> SSAValue:
-        """The operation result."""
-        return self.results[0]
-
-    def verify_(self) -> None:
-        if self.operands[0].type != self.operands[1].type:
-            raise IRError(f"{self.name}: operand types differ")
-        if self.results[0].type != self.operands[0].type:
-            raise IRError(f"{self.name}: result type differs from operands")
+    lhs = operand_def(doc="Left operand.")
+    rhs = operand_def(doc="Right operand.")
+    result = result_def(default=SameAs("lhs"), doc="The operation result.")
 
 
 class AddfOp(_BinaryOp):
     """Floating-point addition."""
 
     name = "arith.addf"
+    __slots__ = ()
 
 
 class SubfOp(_BinaryOp):
     """Floating-point subtraction."""
 
     name = "arith.subf"
+    __slots__ = ()
 
 
 class MulfOp(_BinaryOp):
     """Floating-point multiplication."""
 
     name = "arith.mulf"
+    __slots__ = ()
 
 
 class DivfOp(_BinaryOp):
     """Floating-point division."""
 
     name = "arith.divf"
+    __slots__ = ()
 
 
 class MaximumfOp(_BinaryOp):
     """Floating-point maximum (used by ReLU and max-pooling)."""
 
     name = "arith.maximumf"
+    __slots__ = ()
 
 
 class MinimumfOp(_BinaryOp):
     """Floating-point minimum."""
 
     name = "arith.minimumf"
+    __slots__ = ()
 
 
 class AddiOp(_BinaryOp):
     """Integer/index addition."""
 
     name = "arith.addi"
+    __slots__ = ()
 
 
 class SubiOp(_BinaryOp):
     """Integer/index subtraction."""
 
     name = "arith.subi"
+    __slots__ = ()
 
 
 class MuliOp(_BinaryOp):
     """Integer/index multiplication."""
 
     name = "arith.muli"
+    __slots__ = ()
 
 
 #: Binary float ops a streamed kernel body may contain, by op name.
@@ -154,6 +148,24 @@ FLOAT_BINARY_OPS = {
     op.name: op
     for op in (AddfOp, SubfOp, MulfOp, DivfOp, MaximumfOp, MinimumfOp)
 }
+
+
+ARITH = Dialect(
+    "arith",
+    ops=[
+        ConstantOp,
+        AddfOp,
+        SubfOp,
+        MulfOp,
+        DivfOp,
+        MaximumfOp,
+        MinimumfOp,
+        AddiOp,
+        SubiOp,
+        MuliOp,
+    ],
+    doc="target-independent scalar arithmetic",
+)
 
 
 __all__ = [
@@ -168,4 +180,5 @@ __all__ = [
     "SubiOp",
     "MuliOp",
     "FLOAT_BINARY_OPS",
+    "ARITH",
 ]

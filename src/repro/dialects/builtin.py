@@ -5,14 +5,25 @@ from __future__ import annotations
 from typing import Iterator, Sequence
 
 from ..ir.core import Block, BlockOps, Operation, Region
+from ..ir.irdl import (
+    Dialect,
+    irdl_op_definition,
+    operand_def,
+    region_def,
+    result_def,
+)
 from ..ir.traits import IsolatedFromAbove
 
 
+@irdl_op_definition
 class ModuleOp(Operation):
     """Top-level container holding a single block of ops (functions)."""
 
     name = "builtin.module"
     traits = frozenset([IsolatedFromAbove])
+    __slots__ = ()
+
+    body = region_def(doc="The module body: one block of operations.")
 
     def __init__(self, ops: Sequence[Operation] = ()):
         block = Block()
@@ -33,6 +44,7 @@ class ModuleOp(Operation):
         return iter(self.block.ops)
 
 
+@irdl_op_definition
 class UnrealizedConversionCastOp(Operation):
     """Temporary bridge between type systems during progressive lowering.
 
@@ -41,19 +53,17 @@ class UnrealizedConversionCastOp(Operation):
     """
 
     name = "builtin.unrealized_conversion_cast"
+    __slots__ = ()
 
-    def __init__(self, value, result_type):
-        super().__init__(operands=[value], result_types=[result_type])
-
-    @property
-    def input(self):
-        """The value being reinterpreted."""
-        return self.operands[0]
-
-    @property
-    def output(self):
-        """The reinterpreted result value."""
-        return self.results[0]
+    input = operand_def(doc="The value being reinterpreted.")
+    output = result_def(doc="The reinterpreted result value.")
 
 
-__all__ = ["ModuleOp", "UnrealizedConversionCastOp"]
+BUILTIN = Dialect(
+    "builtin",
+    ops=[ModuleOp, UnrealizedConversionCastOp],
+    doc="module container and conversion plumbing",
+)
+
+
+__all__ = ["ModuleOp", "UnrealizedConversionCastOp", "BUILTIN"]

@@ -10,9 +10,17 @@ from ..ir.attributes import (
     TypeAttribute,
 )
 from ..ir.core import Block, IRError, Operation, Region, SSAValue
+from ..ir.irdl import (
+    Dialect,
+    attr_def,
+    irdl_op_definition,
+    region_def,
+    var_operand_def,
+)
 from ..ir.traits import IsolatedFromAbove, IsTerminator
 
 
+@irdl_op_definition
 class FuncOp(Operation):
     """A function definition.
 
@@ -22,6 +30,13 @@ class FuncOp(Operation):
 
     name = "func.func"
     traits = frozenset([IsolatedFromAbove])
+    __slots__ = ()
+
+    sym_name = attr_def(StringAttr, doc="The function's symbol name.")
+    function_type = attr_def(
+        FunctionType, doc="The function's signature."
+    )
+    body = region_def(doc="The function body.")
 
     def __init__(
         self,
@@ -41,20 +56,6 @@ class FuncOp(Operation):
         )
 
     @property
-    def sym_name(self) -> str:
-        """The function's symbol name."""
-        attr = self.attributes["sym_name"]
-        assert isinstance(attr, StringAttr)
-        return attr.value
-
-    @property
-    def function_type(self) -> FunctionType:
-        """The function's signature."""
-        attr = self.attributes["function_type"]
-        assert isinstance(attr, FunctionType)
-        return attr
-
-    @property
     def entry_block(self) -> Block:
         """The function's entry block."""
         block = self.body.first_block
@@ -67,7 +68,7 @@ class FuncOp(Operation):
         """The entry block arguments (the function's parameters)."""
         return list(self.entry_block.args)
 
-    def verify_(self) -> None:
+    def verify_extra_(self) -> None:
         block = self.body.first_block
         if block is None:
             return
@@ -80,14 +81,22 @@ class FuncOp(Operation):
             )
 
 
+@irdl_op_definition
 class ReturnOp(Operation):
     """Terminator returning from a function."""
 
     name = "func.return"
     traits = frozenset([IsTerminator])
+    __slots__ = ()
 
-    def __init__(self, values: Sequence[SSAValue] = ()):
-        super().__init__(operands=list(values))
+    values = var_operand_def(doc="The returned values.")
 
 
-__all__ = ["FuncOp", "ReturnOp"]
+FUNC = Dialect(
+    "func",
+    ops=[FuncOp, ReturnOp],
+    doc="functions with by-reference memref arguments",
+)
+
+
+__all__ = ["FuncOp", "ReturnOp", "FUNC"]

@@ -20,12 +20,22 @@ from ..ir.attributes import (
     StringAttr,
 )
 from ..ir.core import Block, IRError, Operation, Region, SSAValue
+from ..ir.irdl import (
+    BaseAttr,
+    Dialect,
+    attr_def,
+    irdl_op_definition,
+    operand_def,
+    region_def,
+    var_operand_def,
+)
 from ..ir.traits import HasMemoryEffect, IsTerminator
 
 #: Legal iterator kinds for linalg.generic.
 ITERATOR_KINDS = ("parallel", "reduction")
 
 
+@irdl_op_definition
 class GenericOp(Operation):
     """The versatile ``linalg.generic`` operation.
 
@@ -37,6 +47,19 @@ class GenericOp(Operation):
 
     name = "linalg.generic"
     traits = frozenset([HasMemoryEffect])
+    __slots__ = ()
+
+    inputs = var_operand_def(doc="The input operands.")
+    outputs = var_operand_def(doc="The output operands.")
+    indexing_maps = attr_def(
+        ArrayAttr, doc="One affine map per operand (inputs then outputs)."
+    )
+    iterator_types = attr_def(
+        ArrayAttr,
+        elem=StringAttr,
+        doc="Iterator kind per iteration dimension.",
+    )
+    body = region_def(doc="The scalar computation body region.")
 
     def __init__(
         self,
@@ -61,42 +84,6 @@ class GenericOp(Operation):
             },
             regions=[body],
         )
-
-    # -- operand views --------------------------------------------------------
-
-    @property
-    def _segments(self) -> tuple[int, int]:
-        attr = self.attributes["operand_segment_sizes"]
-        assert isinstance(attr, DenseIntAttr)
-        return attr[0], attr[1]
-
-    @property
-    def inputs(self) -> tuple[SSAValue, ...]:
-        """The input operands."""
-        n_in, _ = self._segments
-        return self.operands[:n_in]
-
-    @property
-    def outputs(self) -> tuple[SSAValue, ...]:
-        """The output operands."""
-        n_in, n_out = self._segments
-        return self.operands[n_in : n_in + n_out]
-
-    # -- attribute views ----------------------------------------------------------
-
-    @property
-    def indexing_maps(self) -> list[AffineMap]:
-        """One affine map per operand (inputs then outputs)."""
-        attr = self.attributes["indexing_maps"]
-        assert isinstance(attr, ArrayAttr)
-        return [m for m in attr.elements]  # type: ignore[misc]
-
-    @property
-    def iterator_types(self) -> list[str]:
-        """Iterator kind per iteration dimension."""
-        attr = self.attributes["iterator_types"]
-        assert isinstance(attr, ArrayAttr)
-        return [s.value for s in attr.elements]  # type: ignore[union-attr]
 
     @property
     def body_block(self) -> Block:
@@ -165,7 +152,7 @@ class GenericOp(Operation):
             )
         return tuple(bounds)  # type: ignore[arg-type]
 
-    def verify_(self) -> None:
+    def verify_extra_(self) -> None:
         if len(self.indexing_maps) != len(self.operands):
             raise IRError(
                 "linalg.generic: one indexing map per operand required"
@@ -194,42 +181,42 @@ class GenericOp(Operation):
             )
 
 
+@irdl_op_definition
 class YieldOp(Operation):
     """Terminator of a ``linalg.generic`` body."""
 
     name = "linalg.yield"
     traits = frozenset([IsTerminator])
+    __slots__ = ()
 
-    def __init__(self, values: Sequence[SSAValue] = ()):
-        super().__init__(operands=list(values))
+    values = var_operand_def(doc="The yielded output values.")
 
 
+@irdl_op_definition
 class FillOp(Operation):
     """Fills an output buffer with a scalar (zeroing before a MatMul)."""
 
     name = "linalg.fill"
     traits = frozenset([HasMemoryEffect])
+    __slots__ = ()
 
-    def __init__(self, value: SSAValue, output: SSAValue):
-        if not isinstance(output.type, MemRefType):
-            raise IRError("linalg.fill: output must be a memref")
-        super().__init__(operands=[value, output])
+    fill_value = operand_def(doc="The scalar written to every element.")
+    output = operand_def(
+        BaseAttr(MemRefType), doc="The buffer being filled."
+    )
 
-    @property
-    def fill_value(self) -> SSAValue:
-        """The scalar written to every element."""
-        return self.operands[0]
-
-    @property
-    def output(self) -> SSAValue:
-        """The buffer being filled."""
-        return self.operands[1]
-
-    def verify_(self) -> None:
+    def verify_extra_(self) -> None:
         out_type = self.output.type
         assert isinstance(out_type, MemRefType)
         if self.fill_value.type != out_type.element_type:
             raise IRError("linalg.fill: scalar type mismatch")
 
 
-__all__ = ["GenericOp", "YieldOp", "FillOp", "ITERATOR_KINDS"]
+LINALG = Dialect(
+    "linalg",
+    ops=[GenericOp, YieldOp, FillOp],
+    doc="structured linear algebra (the DSL entry point)",
+)
+
+
+__all__ = ["GenericOp", "YieldOp", "FillOp", "ITERATOR_KINDS", "LINALG"]

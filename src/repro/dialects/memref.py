@@ -2,49 +2,39 @@
 
 from __future__ import annotations
 
-from typing import Sequence
-
 from ..ir.attributes import MemRefType
-from ..ir.core import IRError, Operation, SSAValue
+from ..ir.core import IRError, Operation
+from ..ir.irdl import (
+    BaseAttr,
+    Dialect,
+    ElementOf,
+    irdl_op_definition,
+    operand_def,
+    result_def,
+    var_operand_def,
+)
 from ..ir.traits import HasMemoryEffect
 
-
-def _memref_type(value: SSAValue) -> MemRefType:
-    if not isinstance(value.type, MemRefType):
-        raise IRError(f"expected a memref value, got {value.type}")
-    return value.type
+#: Operand constraint shared by every op touching a buffer.
+_MEMREF = BaseAttr(MemRefType)
 
 
+@irdl_op_definition
 class LoadOp(Operation):
     """Reads one element: ``%v = memref.load %buf[%i, %j]``."""
 
     name = "memref.load"
     traits = frozenset([HasMemoryEffect])
+    __slots__ = ()
 
-    def __init__(self, memref: SSAValue, indices: Sequence[SSAValue]):
-        memref_type = _memref_type(memref)
-        super().__init__(
-            operands=[memref] + list(indices),
-            result_types=[memref_type.element_type],
-        )
+    memref = operand_def(_MEMREF, doc="The buffer being read.")
+    indices = var_operand_def(doc="The per-dimension indices.")
+    result = result_def(
+        default=ElementOf("memref"), doc="The loaded element."
+    )
 
-    @property
-    def memref(self) -> SSAValue:
-        """The buffer being read."""
-        return self.operands[0]
-
-    @property
-    def indices(self) -> tuple[SSAValue, ...]:
-        """The per-dimension indices."""
-        return self.operands[1:]
-
-    @property
-    def result(self) -> SSAValue:
-        """The loaded element."""
-        return self.results[0]
-
-    def verify_(self) -> None:
-        memref_type = _memref_type(self.memref)
+    def verify_extra_(self) -> None:
+        memref_type = self.memref.type
         if len(self.indices) != memref_type.rank:
             raise IRError(
                 f"memref.load: {len(self.indices)} indices for rank-"
@@ -52,38 +42,20 @@ class LoadOp(Operation):
             )
 
 
+@irdl_op_definition
 class StoreOp(Operation):
     """Writes one element: ``memref.store %v, %buf[%i, %j]``."""
 
     name = "memref.store"
     traits = frozenset([HasMemoryEffect])
+    __slots__ = ()
 
-    def __init__(
-        self,
-        value: SSAValue,
-        memref: SSAValue,
-        indices: Sequence[SSAValue],
-    ):
-        _memref_type(memref)
-        super().__init__(operands=[value, memref] + list(indices))
+    value = operand_def(doc="The element being written.")
+    memref = operand_def(_MEMREF, doc="The buffer being written.")
+    indices = var_operand_def(doc="The per-dimension indices.")
 
-    @property
-    def value(self) -> SSAValue:
-        """The element being written."""
-        return self.operands[0]
-
-    @property
-    def memref(self) -> SSAValue:
-        """The buffer being written."""
-        return self.operands[1]
-
-    @property
-    def indices(self) -> tuple[SSAValue, ...]:
-        """The per-dimension indices."""
-        return self.operands[2:]
-
-    def verify_(self) -> None:
-        memref_type = _memref_type(self.memref)
+    def verify_extra_(self) -> None:
+        memref_type = self.memref.type
         if len(self.indices) != memref_type.rank:
             raise IRError(
                 f"memref.store: {len(self.indices)} indices for rank-"
@@ -93,35 +65,33 @@ class StoreOp(Operation):
             raise IRError("memref.store: value type mismatch")
 
 
+@irdl_op_definition
 class AllocOp(Operation):
     """Allocates a buffer (used by tests and examples, not kernels)."""
 
     name = "memref.alloc"
     traits = frozenset([HasMemoryEffect])
+    __slots__ = ()
 
-    def __init__(self, memref_type: MemRefType):
-        super().__init__(result_types=[memref_type])
-
-    @property
-    def result(self) -> SSAValue:
-        """The allocated buffer."""
-        return self.results[0]
+    result = result_def(_MEMREF, doc="The allocated buffer.")
 
 
+@irdl_op_definition
 class DeallocOp(Operation):
     """Frees a buffer allocated by :class:`AllocOp`."""
 
     name = "memref.dealloc"
     traits = frozenset([HasMemoryEffect])
+    __slots__ = ()
 
-    def __init__(self, memref: SSAValue):
-        _memref_type(memref)
-        super().__init__(operands=[memref])
-
-    @property
-    def memref(self) -> SSAValue:
-        """The buffer being freed."""
-        return self.operands[0]
+    memref = operand_def(_MEMREF, doc="The buffer being freed.")
 
 
-__all__ = ["LoadOp", "StoreOp", "AllocOp", "DeallocOp"]
+MEMREF = Dialect(
+    "memref",
+    ops=[LoadOp, StoreOp, AllocOp, DeallocOp],
+    doc="loads/stores on shaped buffers",
+)
+
+
+__all__ = ["LoadOp", "StoreOp", "AllocOp", "DeallocOp", "MEMREF"]

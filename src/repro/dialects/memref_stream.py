@@ -25,12 +25,22 @@ from ..ir.attributes import (
     ArrayAttr,
     Attribute,
     DenseIntAttr,
-    FloatAttr,
     MemRefType,
     StringAttr,
     TypeAttribute,
 )
 from ..ir.core import Block, IRError, Operation, Region, SSAValue
+from ..ir.irdl import (
+    BaseAttr,
+    Dialect,
+    ElementOf,
+    attr_def,
+    irdl_op_definition,
+    operand_def,
+    region_def,
+    result_def,
+    var_operand_def,
+)
 from ..ir.traits import HasMemoryEffect, IsTerminator
 from .stream import ReadableStreamType, WritableStreamType
 
@@ -87,6 +97,7 @@ class StridePatternAttr(Attribute):
 FROM_MEMORY = StringAttr("from_memory")
 
 
+@irdl_op_definition
 class GenericOp(Operation):
     """``memref_stream.generic``: linalg.generic with explicit bounds.
 
@@ -103,6 +114,30 @@ class GenericOp(Operation):
 
     name = "memref_stream.generic"
     traits = frozenset([HasMemoryEffect])
+    __slots__ = ()
+
+    inputs = var_operand_def(
+        doc="Input operands (memrefs or readable streams)."
+    )
+    outputs = var_operand_def(doc="Output operands (memrefs).")
+    indexing_maps = attr_def(
+        ArrayAttr, doc="One affine map per operand (inputs then outputs)."
+    )
+    iterator_types = attr_def(
+        ArrayAttr,
+        elem=StringAttr,
+        doc="Iterator kind per iteration dimension.",
+    )
+    bounds = attr_def(
+        DenseIntAttr, doc="Explicit iteration-space bounds."
+    )
+    inits = attr_def(
+        ArrayAttr,
+        doc="Per-output init: `from_memory` or a fused fill constant.",
+    )
+    body = region_def(
+        doc="The scalar (or interleaved-vector) computation body."
+    )
 
     def __init__(
         self,
@@ -133,54 +168,6 @@ class GenericOp(Operation):
             },
             regions=[body],
         )
-
-    # -- operand/attribute views ------------------------------------------------
-
-    @property
-    def _segments(self) -> tuple[int, int]:
-        attr = self.attributes["operand_segment_sizes"]
-        assert isinstance(attr, DenseIntAttr)
-        return attr[0], attr[1]
-
-    @property
-    def inputs(self) -> tuple[SSAValue, ...]:
-        """Input operands (memrefs or readable streams)."""
-        n_in, _ = self._segments
-        return self.operands[:n_in]
-
-    @property
-    def outputs(self) -> tuple[SSAValue, ...]:
-        """Output operands (memrefs)."""
-        n_in, n_out = self._segments
-        return self.operands[n_in : n_in + n_out]
-
-    @property
-    def indexing_maps(self) -> list[AffineMap]:
-        """One affine map per operand (inputs then outputs)."""
-        attr = self.attributes["indexing_maps"]
-        assert isinstance(attr, ArrayAttr)
-        return list(attr.elements)  # type: ignore[arg-type]
-
-    @property
-    def iterator_types(self) -> list[str]:
-        """Iterator kind per iteration dimension."""
-        attr = self.attributes["iterator_types"]
-        assert isinstance(attr, ArrayAttr)
-        return [s.value for s in attr.elements]  # type: ignore[union-attr]
-
-    @property
-    def bounds(self) -> tuple[int, ...]:
-        """Explicit iteration-space bounds."""
-        attr = self.attributes["bounds"]
-        assert isinstance(attr, DenseIntAttr)
-        return attr.values
-
-    @property
-    def inits(self) -> list[Attribute]:
-        """Per-output init: :data:`FROM_MEMORY` or a fused fill constant."""
-        attr = self.attributes["inits"]
-        assert isinstance(attr, ArrayAttr)
-        return list(attr.elements)
 
     @property
     def body_block(self) -> Block:
@@ -237,7 +224,7 @@ class GenericOp(Operation):
         out_maps = self.indexing_maps[len(self.inputs) :]
         return bool(out_maps) and out_maps[0].num_dims != len(self.bounds)
 
-    def verify_(self) -> None:
+    def verify_extra_(self) -> None:
         if len(self.indexing_maps) != len(self.operands):
             raise IRError(
                 "memref_stream.generic: one indexing map per operand"
@@ -281,16 +268,18 @@ class GenericOp(Operation):
             )
 
 
+@irdl_op_definition
 class YieldOp(Operation):
     """Terminator of a ``memref_stream.generic`` body."""
 
     name = "memref_stream.yield"
     traits = frozenset([IsTerminator])
+    __slots__ = ()
 
-    def __init__(self, values: Sequence[SSAValue] = ()):
-        super().__init__(operands=list(values))
+    values = var_operand_def(doc="The yielded output values.")
 
 
+@irdl_op_definition
 class StreamingRegionOp(Operation):
     """Scope in which operands are accessed through streams.
 
@@ -302,26 +291,19 @@ class StreamingRegionOp(Operation):
 
     name = "memref_stream.streaming_region"
     traits = frozenset([HasMemoryEffect])
+    __slots__ = ()
 
-    def __init__(
-        self,
-        inputs: Sequence[SSAValue],
-        outputs: Sequence[SSAValue],
-        patterns: Sequence[StridePatternAttr],
-        body: Region,
-    ):
-        inputs = list(inputs)
-        outputs = list(outputs)
-        super().__init__(
-            operands=inputs + outputs,
-            attributes={
-                "patterns": ArrayAttr(list(patterns)),
-                "operand_segment_sizes": DenseIntAttr(
-                    [len(inputs), len(outputs)]
-                ),
-            },
-            regions=[body],
-        )
+    inputs = var_operand_def(
+        BaseAttr(MemRefType), doc="Streamed input memrefs."
+    )
+    outputs = var_operand_def(
+        BaseAttr(MemRefType), doc="Streamed output memrefs."
+    )
+    patterns = attr_def(
+        ArrayAttr,
+        doc="Stride pattern per streamed operand (inputs then outputs).",
+    )
+    body = region_def(doc="The streaming body.")
 
     @staticmethod
     def body_for(
@@ -337,41 +319,17 @@ class StreamingRegionOp(Operation):
         return Region([block]), block
 
     @property
-    def _segments(self) -> tuple[int, int]:
-        attr = self.attributes["operand_segment_sizes"]
-        assert isinstance(attr, DenseIntAttr)
-        return attr[0], attr[1]
-
-    @property
-    def inputs(self) -> tuple[SSAValue, ...]:
-        """Streamed input memrefs."""
-        n_in, _ = self._segments
-        return self.operands[:n_in]
-
-    @property
-    def outputs(self) -> tuple[SSAValue, ...]:
-        """Streamed output memrefs."""
-        n_in, n_out = self._segments
-        return self.operands[n_in : n_in + n_out]
-
-    @property
-    def patterns(self) -> list[StridePatternAttr]:
-        """Stride pattern per streamed operand (inputs then outputs)."""
-        attr = self.attributes["patterns"]
-        assert isinstance(attr, ArrayAttr)
-        return list(attr.elements)  # type: ignore[arg-type]
-
-    @property
     def body_block(self) -> Block:
         """The streaming body."""
         return self.body.block
 
-    def verify_(self) -> None:
+    def verify_extra_(self) -> None:
         if len(self.patterns) != len(self.operands):
             raise IRError(
                 "memref_stream.streaming_region: one pattern per operand"
             )
-        n_in, n_out = self._segments
+        n_in = len(self.inputs)
+        n_out = len(self.outputs)
         block = self.body.first_block
         if block is None:
             raise IRError("memref_stream.streaming_region: empty body")
@@ -394,51 +352,43 @@ class StreamingRegionOp(Operation):
                 )
 
 
+@irdl_op_definition
 class ReadOp(Operation):
     """Pops one element from a readable stream."""
 
     name = "memref_stream.read"
     traits = frozenset([HasMemoryEffect])
+    __slots__ = ()
 
-    def __init__(self, stream: SSAValue):
-        if not isinstance(stream.type, ReadableStreamType):
-            raise IRError("memref_stream.read: operand must be readable")
-        super().__init__(
-            operands=[stream],
-            result_types=[stream.type.element_type],
-        )
-
-    @property
-    def stream(self) -> SSAValue:
-        """The stream being read."""
-        return self.operands[0]
-
-    @property
-    def result(self) -> SSAValue:
-        """The popped element."""
-        return self.results[0]
+    stream = operand_def(
+        BaseAttr(ReadableStreamType), doc="The stream being read."
+    )
+    result = result_def(
+        default=ElementOf("stream"), doc="The popped element."
+    )
 
 
+@irdl_op_definition
 class WriteOp(Operation):
     """Pushes one element into a writable stream."""
 
     name = "memref_stream.write"
     traits = frozenset([HasMemoryEffect])
+    __slots__ = ()
 
-    def __init__(self, value: SSAValue, stream: SSAValue):
-        if not isinstance(stream.type, WritableStreamType):
-            raise IRError("memref_stream.write: operand must be writable")
-        super().__init__(operands=[value, stream])
+    value = operand_def(doc="The element pushed.")
+    stream = operand_def(
+        BaseAttr(WritableStreamType), doc="The stream written to."
+    )
 
-    @property
-    def value(self) -> SSAValue:
-        """The element pushed."""
-        return self.operands[0]
 
-    @property
-    def stream(self) -> SSAValue:
-        """The stream written to."""
-        return self.operands[1]
+MEMREF_STREAM = Dialect(
+    "memref_stream",
+    ops=[GenericOp, YieldOp, StreamingRegionOp, ReadOp, WriteOp],
+    attrs=[StridePatternAttr],
+    doc="the scheduling bridge: explicit bounds + streams over memrefs "
+    "(paper Fig. 7)",
+)
 
 
 __all__ = [
@@ -450,4 +400,5 @@ __all__ = [
     "StreamingRegionOp",
     "ReadOp",
     "WriteOp",
+    "MEMREF_STREAM",
 ]

@@ -9,15 +9,28 @@ Register allocation therefore simply refines types in place.
 Every instruction knows how to print itself as one line of assembly via
 :meth:`RISCVInstruction.assembly_line`; ops like ``rv.get_register`` that
 exist only to bridge SSA and registers print nothing.
+
+Instructions are *declarative*: each shape class (``RdRsRsInstruction``
+and friends) declares its operands, result and attributes once via the
+IRDL-style field descriptors, and the bulk of the ISA is then a table of
+``(class, shape, mnemonic, doc)`` rows — adding an instruction is one
+table line.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
 
 from ..ir.attributes import IntAttr, StringAttr, TypeAttribute
 from ..ir.core import IRError, Operation, SSAValue
+from ..ir.irdl import (
+    BaseAttr,
+    Dialect,
+    attr_def,
+    irdl_op_definition,
+    operand_def,
+    result_def,
+)
 from ..ir.traits import HasMemoryEffect, Pure
 
 
@@ -68,6 +81,10 @@ RegisterType = IntRegisterType | FloatRegisterType
 UNALLOCATED_INT = IntRegisterType()
 UNALLOCATED_FLOAT = FloatRegisterType()
 
+#: Operand/result constraints shared by every instruction spec below.
+INT_REGISTER = BaseAttr(IntRegisterType)
+FLOAT_REGISTER = BaseAttr(FloatRegisterType)
+
 
 def reg_name(value: SSAValue) -> str:
     """The concrete register holding ``value`` (must be allocated)."""
@@ -81,7 +98,7 @@ def reg_name(value: SSAValue) -> str:
 
 
 # ---------------------------------------------------------------------------
-# Instruction base classes
+# Instruction shape classes (one declarative spec per assembly shape)
 # ---------------------------------------------------------------------------
 
 
@@ -94,6 +111,8 @@ class RISCVInstruction(Operation):
     #: ``(operand index, result index)`` that must share one register
     #: (read-modify-write instructions like ``vfmac.s``), or ``None``.
     tied: tuple[int, int] | None = None
+
+    __slots__ = ()
 
     def assembly_line(self) -> str | None:
         """Render this op as one line of assembly (None: prints nothing)."""
@@ -109,103 +128,48 @@ class RISCVInstruction(Operation):
         return args
 
 
+@irdl_op_definition
 class RdRsRsInstruction(RISCVInstruction):
     """``op rd, rs1, rs2`` with integer result and operands."""
 
     traits = frozenset([Pure])
+    __slots__ = ()
 
-    def __init__(
-        self,
-        rs1: SSAValue,
-        rs2: SSAValue,
-        result_type: IntRegisterType | None = None,
-    ):
-        super().__init__(
-            operands=[rs1, rs2],
-            result_types=[result_type or UNALLOCATED_INT],
-        )
-
-    @property
-    def rs1(self) -> SSAValue:
-        """First source register."""
-        return self.operands[0]
-
-    @property
-    def rs2(self) -> SSAValue:
-        """Second source register."""
-        return self.operands[1]
-
-    @property
-    def rd(self) -> SSAValue:
-        """Destination register."""
-        return self.results[0]
+    rs1 = operand_def(INT_REGISTER, doc="First source register.")
+    rs2 = operand_def(INT_REGISTER, doc="Second source register.")
+    rd = result_def(
+        INT_REGISTER, default=UNALLOCATED_INT, doc="Destination register."
+    )
 
 
+@irdl_op_definition
 class FRdRsRsInstruction(RISCVInstruction):
     """``op rd, rs1, rs2`` over floating-point registers."""
 
     traits = frozenset([Pure])
+    __slots__ = ()
 
-    def __init__(
-        self,
-        rs1: SSAValue,
-        rs2: SSAValue,
-        result_type: FloatRegisterType | None = None,
-    ):
-        super().__init__(
-            operands=[rs1, rs2],
-            result_types=[result_type or UNALLOCATED_FLOAT],
-        )
-
-    @property
-    def rs1(self) -> SSAValue:
-        """First source register."""
-        return self.operands[0]
-
-    @property
-    def rs2(self) -> SSAValue:
-        """Second source register."""
-        return self.operands[1]
-
-    @property
-    def rd(self) -> SSAValue:
-        """Destination register."""
-        return self.results[0]
+    rs1 = operand_def(FLOAT_REGISTER, doc="First source register.")
+    rs2 = operand_def(FLOAT_REGISTER, doc="Second source register.")
+    rd = result_def(
+        FLOAT_REGISTER,
+        default=UNALLOCATED_FLOAT,
+        doc="Destination register.",
+    )
 
 
+@irdl_op_definition
 class RdRsImmInstruction(RISCVInstruction):
     """``op rd, rs1, imm``."""
 
     traits = frozenset([Pure])
+    __slots__ = ()
 
-    def __init__(
-        self,
-        rs1: SSAValue,
-        immediate: int,
-        result_type: IntRegisterType | None = None,
-    ):
-        super().__init__(
-            operands=[rs1],
-            result_types=[result_type or UNALLOCATED_INT],
-            attributes={"immediate": IntAttr(immediate)},
-        )
-
-    @property
-    def rs1(self) -> SSAValue:
-        """Source register."""
-        return self.operands[0]
-
-    @property
-    def rd(self) -> SSAValue:
-        """Destination register."""
-        return self.results[0]
-
-    @property
-    def immediate(self) -> int:
-        """The immediate operand."""
-        attr = self.attributes["immediate"]
-        assert isinstance(attr, IntAttr)
-        return attr.value
+    rs1 = operand_def(INT_REGISTER, doc="Source register.")
+    immediate = attr_def(IntAttr, doc="The immediate operand.")
+    rd = result_def(
+        INT_REGISTER, default=UNALLOCATED_INT, doc="Destination register."
+    )
 
     def assembly_args(self) -> list[str]:
         return [
@@ -215,11 +179,71 @@ class RdRsImmInstruction(RISCVInstruction):
         ]
 
 
+@irdl_op_definition
+class _FLoadOp(RISCVInstruction):
+    """Shared shape of FP loads ``op rd, imm(rs1)``."""
+
+    traits = frozenset([HasMemoryEffect])
+    __slots__ = ()
+
+    base = operand_def(INT_REGISTER, doc="Base address register.")
+    immediate = attr_def(IntAttr, default=0, doc="Byte offset.")
+    rd = result_def(
+        FLOAT_REGISTER,
+        default=UNALLOCATED_FLOAT,
+        doc="Destination FP register.",
+    )
+
+    def assembly_args(self) -> list[str]:
+        return [
+            reg_name(self.rd),
+            f"{self.immediate}({reg_name(self.base)})",
+        ]
+
+
+@irdl_op_definition
+class _FStoreOp(RISCVInstruction):
+    """Shared shape of FP stores ``op rs2, imm(rs1)``."""
+
+    traits = frozenset([HasMemoryEffect])
+    __slots__ = ()
+
+    value = operand_def(
+        FLOAT_REGISTER, doc="FP register stored to memory."
+    )
+    base = operand_def(INT_REGISTER, doc="Base address register.")
+    immediate = attr_def(IntAttr, default=0, doc="Byte offset.")
+
+    def assembly_args(self) -> list[str]:
+        return [
+            reg_name(self.value),
+            f"{self.immediate}({reg_name(self.base)})",
+        ]
+
+
+@irdl_op_definition
+class _FMAInstruction(RISCVInstruction):
+    """Shared shape of fused multiply-add ``op rd, rs1, rs2, rs3``."""
+
+    traits = frozenset([Pure])
+    __slots__ = ()
+
+    rs1 = operand_def(FLOAT_REGISTER, doc="Multiplicand.")
+    rs2 = operand_def(FLOAT_REGISTER, doc="Multiplier.")
+    rs3 = operand_def(FLOAT_REGISTER, doc="Addend.")
+    rd = result_def(
+        FLOAT_REGISTER,
+        default=UNALLOCATED_FLOAT,
+        doc="Destination register.",
+    )
+
+
 # ---------------------------------------------------------------------------
 # Register materialisation & moves
 # ---------------------------------------------------------------------------
 
 
+@irdl_op_definition
 class GetRegisterOp(RISCVInstruction):
     """Creates an SSA value naming a specific register; prints nothing.
 
@@ -229,201 +253,100 @@ class GetRegisterOp(RISCVInstruction):
 
     name = "rv.get_register"
     traits = frozenset([Pure])
+    __slots__ = ()
 
-    def __init__(self, register_type: RegisterType):
-        super().__init__(result_types=[register_type])
-
-    @property
-    def result(self) -> SSAValue:
-        """The register-typed value."""
-        return self.results[0]
+    result = result_def(doc="The register-typed value.")
 
     def assembly_line(self) -> str | None:
         return None
 
 
+@irdl_op_definition
 class LiOp(RISCVInstruction):
     """``li rd, imm``: load an immediate."""
 
     name = "rv.li"
-    traits = frozenset([Pure])
-
-    def __init__(
-        self,
-        immediate: int,
-        result_type: IntRegisterType | None = None,
-    ):
-        super().__init__(
-            result_types=[result_type or UNALLOCATED_INT],
-            attributes={"immediate": IntAttr(immediate)},
-        )
-
     mnemonic = "li"
+    traits = frozenset([Pure])
+    __slots__ = ()
 
-    @property
-    def rd(self) -> SSAValue:
-        """Destination register."""
-        return self.results[0]
-
-    @property
-    def immediate(self) -> int:
-        """The immediate loaded."""
-        attr = self.attributes["immediate"]
-        assert isinstance(attr, IntAttr)
-        return attr.value
+    immediate = attr_def(IntAttr, doc="The immediate loaded.")
+    rd = result_def(
+        INT_REGISTER, default=UNALLOCATED_INT, doc="Destination register."
+    )
 
     def assembly_args(self) -> list[str]:
         return [reg_name(self.rd), str(self.immediate)]
 
 
+@irdl_op_definition
 class MVOp(RISCVInstruction):
     """``mv rd, rs``: integer register copy."""
 
     name = "rv.mv"
     mnemonic = "mv"
     traits = frozenset([Pure])
+    __slots__ = ()
 
-    def __init__(
-        self, rs: SSAValue, result_type: IntRegisterType | None = None
-    ):
-        super().__init__(
-            operands=[rs],
-            result_types=[result_type or UNALLOCATED_INT],
-        )
-
-    @property
-    def rs(self) -> SSAValue:
-        """Source register."""
-        return self.operands[0]
-
-    @property
-    def rd(self) -> SSAValue:
-        """Destination register."""
-        return self.results[0]
+    rs = operand_def(INT_REGISTER, doc="Source register.")
+    rd = result_def(
+        INT_REGISTER, default=UNALLOCATED_INT, doc="Destination register."
+    )
 
 
+@irdl_op_definition
 class FMVOp(RISCVInstruction):
     """``fmv.d rd, rs``: floating-point register copy."""
 
     name = "rv.fmv.d"
     mnemonic = "fmv.d"
     traits = frozenset([Pure])
+    __slots__ = ()
 
-    def __init__(
-        self, rs: SSAValue, result_type: FloatRegisterType | None = None
-    ):
-        super().__init__(
-            operands=[rs],
-            result_types=[result_type or UNALLOCATED_FLOAT],
-        )
-
-    @property
-    def rs(self) -> SSAValue:
-        """Source register."""
-        return self.operands[0]
-
-    @property
-    def rd(self) -> SSAValue:
-        """Destination register."""
-        return self.results[0]
+    rs = operand_def(FLOAT_REGISTER, doc="Source register.")
+    rd = result_def(
+        FLOAT_REGISTER,
+        default=UNALLOCATED_FLOAT,
+        doc="Destination register.",
+    )
 
 
+@irdl_op_definition
 class FCvtDWOp(RISCVInstruction):
     """``fcvt.d.w rd, rs``: convert integer to double."""
 
     name = "rv.fcvt.d.w"
     mnemonic = "fcvt.d.w"
     traits = frozenset([Pure])
+    __slots__ = ()
 
-    def __init__(
-        self, rs: SSAValue, result_type: FloatRegisterType | None = None
-    ):
-        super().__init__(
-            operands=[rs],
-            result_types=[result_type or UNALLOCATED_FLOAT],
-        )
-
-
-# ---------------------------------------------------------------------------
-# Integer arithmetic
-# ---------------------------------------------------------------------------
-
-
-class AddOp(RdRsRsInstruction):
-    """``add rd, rs1, rs2``."""
-
-    name = "rv.add"
-    mnemonic = "add"
-
-
-class SubOp(RdRsRsInstruction):
-    """``sub rd, rs1, rs2``."""
-
-    name = "rv.sub"
-    mnemonic = "sub"
-
-
-class MulOp(RdRsRsInstruction):
-    """``mul rd, rs1, rs2`` (M extension; shared mul/div unit on Snitch)."""
-
-    name = "rv.mul"
-    mnemonic = "mul"
-
-
-class AddiOp(RdRsImmInstruction):
-    """``addi rd, rs1, imm``."""
-
-    name = "rv.addi"
-    mnemonic = "addi"
-
-
-class SlliOp(RdRsImmInstruction):
-    """``slli rd, rs1, imm``: shift left logical immediate."""
-
-    name = "rv.slli"
-    mnemonic = "slli"
+    rs = operand_def(INT_REGISTER, doc="Source integer register.")
+    rd = result_def(
+        FLOAT_REGISTER,
+        default=UNALLOCATED_FLOAT,
+        doc="Destination FP register.",
+    )
 
 
 # ---------------------------------------------------------------------------
-# Memory access
+# Integer memory access
 # ---------------------------------------------------------------------------
 
 
+@irdl_op_definition
 class LwOp(RISCVInstruction):
     """``lw rd, imm(rs1)``: integer load."""
 
     name = "rv.lw"
     mnemonic = "lw"
     traits = frozenset([HasMemoryEffect])
+    __slots__ = ()
 
-    def __init__(
-        self,
-        base: SSAValue,
-        immediate: int = 0,
-        result_type: IntRegisterType | None = None,
-    ):
-        super().__init__(
-            operands=[base],
-            result_types=[result_type or UNALLOCATED_INT],
-            attributes={"immediate": IntAttr(immediate)},
-        )
-
-    @property
-    def base(self) -> SSAValue:
-        """Base address register."""
-        return self.operands[0]
-
-    @property
-    def rd(self) -> SSAValue:
-        """Destination register."""
-        return self.results[0]
-
-    @property
-    def immediate(self) -> int:
-        """Byte offset."""
-        attr = self.attributes["immediate"]
-        assert isinstance(attr, IntAttr)
-        return attr.value
+    base = operand_def(INT_REGISTER, doc="Base address register.")
+    immediate = attr_def(IntAttr, default=0, doc="Byte offset.")
+    rd = result_def(
+        INT_REGISTER, default=UNALLOCATED_INT, doc="Destination register."
+    )
 
     def assembly_args(self) -> list[str]:
         return [
@@ -432,35 +355,18 @@ class LwOp(RISCVInstruction):
         ]
 
 
+@irdl_op_definition
 class SwOp(RISCVInstruction):
     """``sw rs2, imm(rs1)``: integer store."""
 
     name = "rv.sw"
     mnemonic = "sw"
     traits = frozenset([HasMemoryEffect])
+    __slots__ = ()
 
-    def __init__(self, value: SSAValue, base: SSAValue, immediate: int = 0):
-        super().__init__(
-            operands=[value, base],
-            attributes={"immediate": IntAttr(immediate)},
-        )
-
-    @property
-    def value(self) -> SSAValue:
-        """Register stored to memory."""
-        return self.operands[0]
-
-    @property
-    def base(self) -> SSAValue:
-        """Base address register."""
-        return self.operands[1]
-
-    @property
-    def immediate(self) -> int:
-        """Byte offset."""
-        attr = self.attributes["immediate"]
-        assert isinstance(attr, IntAttr)
-        return attr.value
+    value = operand_def(INT_REGISTER, doc="Register stored to memory.")
+    base = operand_def(INT_REGISTER, doc="Base address register.")
+    immediate = attr_def(IntAttr, default=0, doc="Byte offset.")
 
     def assembly_args(self) -> list[str]:
         return [
@@ -469,267 +375,167 @@ class SwOp(RISCVInstruction):
         ]
 
 
-class _FLoadOp(RISCVInstruction):
-    """Shared shape of FP loads ``op rd, imm(rs1)``."""
-
-    traits = frozenset([HasMemoryEffect])
-
-    def __init__(
-        self,
-        base: SSAValue,
-        immediate: int = 0,
-        result_type: FloatRegisterType | None = None,
-    ):
-        super().__init__(
-            operands=[base],
-            result_types=[result_type or UNALLOCATED_FLOAT],
-            attributes={"immediate": IntAttr(immediate)},
-        )
-
-    @property
-    def base(self) -> SSAValue:
-        """Base address register."""
-        return self.operands[0]
-
-    @property
-    def rd(self) -> SSAValue:
-        """Destination FP register."""
-        return self.results[0]
-
-    @property
-    def immediate(self) -> int:
-        """Byte offset."""
-        attr = self.attributes["immediate"]
-        assert isinstance(attr, IntAttr)
-        return attr.value
-
-    def assembly_args(self) -> list[str]:
-        return [
-            reg_name(self.rd),
-            f"{self.immediate}({reg_name(self.base)})",
-        ]
-
-
-class _FStoreOp(RISCVInstruction):
-    """Shared shape of FP stores ``op rs2, imm(rs1)``."""
-
-    traits = frozenset([HasMemoryEffect])
-
-    def __init__(self, value: SSAValue, base: SSAValue, immediate: int = 0):
-        super().__init__(
-            operands=[value, base],
-            attributes={"immediate": IntAttr(immediate)},
-        )
-
-    @property
-    def value(self) -> SSAValue:
-        """FP register stored to memory."""
-        return self.operands[0]
-
-    @property
-    def base(self) -> SSAValue:
-        """Base address register."""
-        return self.operands[1]
-
-    @property
-    def immediate(self) -> int:
-        """Byte offset."""
-        attr = self.attributes["immediate"]
-        assert isinstance(attr, IntAttr)
-        return attr.value
-
-    def assembly_args(self) -> list[str]:
-        return [
-            reg_name(self.value),
-            f"{self.immediate}({reg_name(self.base)})",
-        ]
-
-
-class FLdOp(_FLoadOp):
-    """``fld rd, imm(rs1)``: load a double."""
-
-    name = "rv.fld"
-    mnemonic = "fld"
-
-
-class FLwOp(_FLoadOp):
-    """``flw rd, imm(rs1)``: load a float."""
-
-    name = "rv.flw"
-    mnemonic = "flw"
-
-
-class FSdOp(_FStoreOp):
-    """``fsd rs2, imm(rs1)``: store a double."""
-
-    name = "rv.fsd"
-    mnemonic = "fsd"
-
-
-class FSwOp(_FStoreOp):
-    """``fsw rs2, imm(rs1)``: store a float."""
-
-    name = "rv.fsw"
-    mnemonic = "fsw"
-
-
-# ---------------------------------------------------------------------------
-# Floating-point arithmetic
-# ---------------------------------------------------------------------------
-
-
-class FAddDOp(FRdRsRsInstruction):
-    """``fadd.d rd, rs1, rs2``."""
-
-    name = "rv.fadd.d"
-    mnemonic = "fadd.d"
-
-
-class FSubDOp(FRdRsRsInstruction):
-    """``fsub.d rd, rs1, rs2``."""
-
-    name = "rv.fsub.d"
-    mnemonic = "fsub.d"
-
-
-class FMulDOp(FRdRsRsInstruction):
-    """``fmul.d rd, rs1, rs2``."""
-
-    name = "rv.fmul.d"
-    mnemonic = "fmul.d"
-
-
-class FDivDOp(FRdRsRsInstruction):
-    """``fdiv.d rd, rs1, rs2``."""
-
-    name = "rv.fdiv.d"
-    mnemonic = "fdiv.d"
-
-
-class FMaxDOp(FRdRsRsInstruction):
-    """``fmax.d rd, rs1, rs2``."""
-
-    name = "rv.fmax.d"
-    mnemonic = "fmax.d"
-
-
-class FMinDOp(FRdRsRsInstruction):
-    """``fmin.d rd, rs1, rs2``."""
-
-    name = "rv.fmin.d"
-    mnemonic = "fmin.d"
-
-
-class FAddSOp(FRdRsRsInstruction):
-    """``fadd.s rd, rs1, rs2``."""
-
-    name = "rv.fadd.s"
-    mnemonic = "fadd.s"
-
-
-class FSubSOp(FRdRsRsInstruction):
-    """``fsub.s rd, rs1, rs2``."""
-
-    name = "rv.fsub.s"
-    mnemonic = "fsub.s"
-
-
-class FMulSOp(FRdRsRsInstruction):
-    """``fmul.s rd, rs1, rs2``."""
-
-    name = "rv.fmul.s"
-    mnemonic = "fmul.s"
-
-
-class FMaxSOp(FRdRsRsInstruction):
-    """``fmax.s rd, rs1, rs2``."""
-
-    name = "rv.fmax.s"
-    mnemonic = "fmax.s"
-
-
-class FMinSOp(FRdRsRsInstruction):
-    """``fmin.s rd, rs1, rs2``."""
-
-    name = "rv.fmin.s"
-    mnemonic = "fmin.s"
-
-
-class _FMAInstruction(RISCVInstruction):
-    """Shared shape of fused multiply-add ``op rd, rs1, rs2, rs3``."""
-
-    traits = frozenset([Pure])
-
-    def __init__(
-        self,
-        rs1: SSAValue,
-        rs2: SSAValue,
-        rs3: SSAValue,
-        result_type: FloatRegisterType | None = None,
-    ):
-        super().__init__(
-            operands=[rs1, rs2, rs3],
-            result_types=[result_type or UNALLOCATED_FLOAT],
-        )
-
-    @property
-    def rs1(self) -> SSAValue:
-        """Multiplicand."""
-        return self.operands[0]
-
-    @property
-    def rs2(self) -> SSAValue:
-        """Multiplier."""
-        return self.operands[1]
-
-    @property
-    def rs3(self) -> SSAValue:
-        """Addend."""
-        return self.operands[2]
-
-    @property
-    def rd(self) -> SSAValue:
-        """Destination register."""
-        return self.results[0]
-
-
-class FMAddDOp(_FMAInstruction):
-    """``fmadd.d rd, rs1, rs2, rs3`` = rs1*rs2 + rs3 (2 FLOPs)."""
-
-    name = "rv.fmadd.d"
-    mnemonic = "fmadd.d"
-
-
-class FMAddSOp(_FMAInstruction):
-    """``fmadd.s rd, rs1, rs2, rs3`` = rs1*rs2 + rs3 (2 FLOPs)."""
-
-    name = "rv.fmadd.s"
-    mnemonic = "fmadd.s"
-
-
+@irdl_op_definition
 class CommentOp(RISCVInstruction):
     """A comment line in the emitted assembly (debugging aid)."""
 
     name = "rv.comment"
+    __slots__ = ()
 
-    def __init__(self, text: str):
-        super().__init__(attributes={"text": StringAttr(text)})
-
-    @property
-    def text(self) -> str:
-        """The comment text."""
-        attr = self.attributes["text"]
-        assert isinstance(attr, StringAttr)
-        return attr.value
+    text = attr_def(StringAttr, doc="The comment text.")
 
     def assembly_line(self) -> str | None:
         return f"# {self.text}"
+
+
+# ---------------------------------------------------------------------------
+# The instruction table
+# ---------------------------------------------------------------------------
+
+
+def _instruction(class_name: str, shape: type, mnemonic: str, doc: str):
+    """One table row: a leaf instruction deriving everything from its
+    shape class.  The op name is always ``rv.<mnemonic>``."""
+    return type(
+        class_name,
+        (shape,),
+        {
+            "name": f"rv.{mnemonic}",
+            "mnemonic": mnemonic,
+            "__doc__": doc,
+            "__slots__": (),
+            "__module__": __name__,
+        },
+    )
+
+
+# Each assignment is one assembly instruction; the whole declarative
+# spec (operands, result, verification, constructor) comes from the
+# shape class.  Adding an instruction is one line here plus its entry
+# in the RISCV dialect below.
+
+# integer arithmetic
+AddOp = _instruction(
+    "AddOp", RdRsRsInstruction, "add", "``add rd, rs1, rs2``."
+)
+SubOp = _instruction(
+    "SubOp", RdRsRsInstruction, "sub", "``sub rd, rs1, rs2``."
+)
+MulOp = _instruction(
+    "MulOp", RdRsRsInstruction, "mul",
+    "``mul rd, rs1, rs2`` (M extension; shared mul/div unit on Snitch).",
+)
+AddiOp = _instruction(
+    "AddiOp", RdRsImmInstruction, "addi", "``addi rd, rs1, imm``."
+)
+SlliOp = _instruction(
+    "SlliOp", RdRsImmInstruction, "slli",
+    "``slli rd, rs1, imm``: shift left logical immediate.",
+)
+# floating-point memory access
+FLdOp = _instruction(
+    "FLdOp", _FLoadOp, "fld", "``fld rd, imm(rs1)``: load a double."
+)
+FLwOp = _instruction(
+    "FLwOp", _FLoadOp, "flw", "``flw rd, imm(rs1)``: load a float."
+)
+FSdOp = _instruction(
+    "FSdOp", _FStoreOp, "fsd", "``fsd rs2, imm(rs1)``: store a double."
+)
+FSwOp = _instruction(
+    "FSwOp", _FStoreOp, "fsw", "``fsw rs2, imm(rs1)``: store a float."
+)
+# floating-point arithmetic
+FAddDOp = _instruction(
+    "FAddDOp", FRdRsRsInstruction, "fadd.d", "``fadd.d rd, rs1, rs2``."
+)
+FSubDOp = _instruction(
+    "FSubDOp", FRdRsRsInstruction, "fsub.d", "``fsub.d rd, rs1, rs2``."
+)
+FMulDOp = _instruction(
+    "FMulDOp", FRdRsRsInstruction, "fmul.d", "``fmul.d rd, rs1, rs2``."
+)
+FDivDOp = _instruction(
+    "FDivDOp", FRdRsRsInstruction, "fdiv.d", "``fdiv.d rd, rs1, rs2``."
+)
+FMaxDOp = _instruction(
+    "FMaxDOp", FRdRsRsInstruction, "fmax.d", "``fmax.d rd, rs1, rs2``."
+)
+FMinDOp = _instruction(
+    "FMinDOp", FRdRsRsInstruction, "fmin.d", "``fmin.d rd, rs1, rs2``."
+)
+FAddSOp = _instruction(
+    "FAddSOp", FRdRsRsInstruction, "fadd.s", "``fadd.s rd, rs1, rs2``."
+)
+FSubSOp = _instruction(
+    "FSubSOp", FRdRsRsInstruction, "fsub.s", "``fsub.s rd, rs1, rs2``."
+)
+FMulSOp = _instruction(
+    "FMulSOp", FRdRsRsInstruction, "fmul.s", "``fmul.s rd, rs1, rs2``."
+)
+FMaxSOp = _instruction(
+    "FMaxSOp", FRdRsRsInstruction, "fmax.s", "``fmax.s rd, rs1, rs2``."
+)
+FMinSOp = _instruction(
+    "FMinSOp", FRdRsRsInstruction, "fmin.s", "``fmin.s rd, rs1, rs2``."
+)
+FMAddDOp = _instruction(
+    "FMAddDOp", _FMAInstruction, "fmadd.d",
+    "``fmadd.d rd, rs1, rs2, rs3`` = rs1*rs2 + rs3 (2 FLOPs).",
+)
+FMAddSOp = _instruction(
+    "FMAddSOp", _FMAInstruction, "fmadd.s",
+    "``fmadd.s rd, rs1, rs2, rs3`` = rs1*rs2 + rs3 (2 FLOPs).",
+)
+
+
+RISCV = Dialect(
+    "rv",
+    ops=[
+        GetRegisterOp,
+        LiOp,
+        MVOp,
+        FMVOp,
+        FCvtDWOp,
+        LwOp,
+        SwOp,
+        CommentOp,
+        AddOp,
+        SubOp,
+        MulOp,
+        AddiOp,
+        SlliOp,
+        FLdOp,
+        FLwOp,
+        FSdOp,
+        FSwOp,
+        FAddDOp,
+        FSubDOp,
+        FMulDOp,
+        FDivDOp,
+        FMaxDOp,
+        FMinDOp,
+        FAddSOp,
+        FSubSOp,
+        FMulSOp,
+        FMaxSOp,
+        FMinSOp,
+        FMAddDOp,
+        FMAddSOp,
+    ],
+    attrs=[IntRegisterType, FloatRegisterType],
+    doc="the RISC-V base ISA as SSA operations (paper Sec. 3.1)",
+)
 
 
 __all__ = [
     "IntRegisterType",
     "FloatRegisterType",
     "RegisterType",
+    "INT_REGISTER",
+    "FLOAT_REGISTER",
+    "UNALLOCATED_INT",
+    "UNALLOCATED_FLOAT",
     "reg_name",
     "RISCVInstruction",
     "RdRsRsInstruction",
@@ -765,4 +571,5 @@ __all__ = [
     "FMAddDOp",
     "FMAddSOp",
     "CommentOp",
+    "RISCV",
 ]

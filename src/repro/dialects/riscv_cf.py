@@ -4,139 +4,117 @@ These ops appear only at the very bottom of the pipeline, after
 ``rv_scf.for`` loops are lowered to labels and conditional branches
 (register allocation happens *before* this, on the structured form —
 that ordering is the point of paper Section 3.3).
+
+Branch targets are assembly *labels* (declared via ``successor_def``),
+not block references: this IR lowers structured loops only after
+register allocation, so no block-level CFG ever exists.
 """
 
 from __future__ import annotations
 
 from ..ir.attributes import StringAttr
-from ..ir.core import Operation, SSAValue
-from ..ir.traits import IsTerminator
-from .riscv import RISCVInstruction, reg_name
+from ..ir.irdl import (
+    Dialect,
+    attr_def,
+    irdl_op_definition,
+    operand_def,
+    successor_def,
+)
+from .riscv import INT_REGISTER, RISCVInstruction, reg_name
 
 
+@irdl_op_definition
 class LabelOp(RISCVInstruction):
     """An assembly label definition (``name:``)."""
 
     name = "rv_cf.label"
+    __slots__ = ()
 
-    def __init__(self, label: str):
-        super().__init__(attributes={"label": StringAttr(label)})
-
-    @property
-    def label(self) -> str:
-        """The label text."""
-        attr = self.attributes["label"]
-        assert isinstance(attr, StringAttr)
-        return attr.value
+    label = attr_def(StringAttr, doc="The label text.")
 
     def assembly_line(self) -> str | None:
         return f"{self.label}:"
 
 
+@irdl_op_definition
 class _CondBranchOp(RISCVInstruction):
     """Shared shape of two-register conditional branches."""
 
-    def __init__(self, rs1: SSAValue, rs2: SSAValue, target: str):
-        super().__init__(
-            operands=[rs1, rs2],
-            attributes={"target": StringAttr(target)},
-        )
+    __slots__ = ()
 
-    @property
-    def rs1(self) -> SSAValue:
-        """First compared register."""
-        return self.operands[0]
-
-    @property
-    def rs2(self) -> SSAValue:
-        """Second compared register."""
-        return self.operands[1]
-
-    @property
-    def target(self) -> str:
-        """The branch target label."""
-        attr = self.attributes["target"]
-        assert isinstance(attr, StringAttr)
-        return attr.value
+    rs1 = operand_def(INT_REGISTER, doc="First compared register.")
+    rs2 = operand_def(INT_REGISTER, doc="Second compared register.")
+    target = successor_def(doc="The branch target label.")
 
     def assembly_args(self) -> list[str]:
         return [reg_name(self.rs1), reg_name(self.rs2), self.target]
 
 
-class BltOp(_CondBranchOp):
-    """``blt rs1, rs2, target``: branch if less-than (signed)."""
-
-    name = "rv_cf.blt"
-    mnemonic = "blt"
-
-
-class BgeOp(_CondBranchOp):
-    """``bge rs1, rs2, target``: branch if greater-or-equal (signed)."""
-
-    name = "rv_cf.bge"
-    mnemonic = "bge"
-
-
-class BneOp(_CondBranchOp):
-    """``bne rs1, rs2, target``: branch if not equal."""
-
-    name = "rv_cf.bne"
-    mnemonic = "bne"
+def _branch(class_name: str, mnemonic: str, doc: str):
+    """One conditional branch sharing the :class:`_CondBranchOp` spec."""
+    return type(
+        class_name,
+        (_CondBranchOp,),
+        {
+            "name": f"rv_cf.{mnemonic}",
+            "mnemonic": mnemonic,
+            "__doc__": doc,
+            "__slots__": (),
+            "__module__": __name__,
+        },
+    )
 
 
-class BeqOp(_CondBranchOp):
-    """``beq rs1, rs2, target``: branch if equal."""
+BltOp = _branch(
+    "BltOp", "blt", "``blt rs1, rs2, target``: branch if less-than "
+    "(signed).",
+)
+BgeOp = _branch(
+    "BgeOp", "bge", "``bge rs1, rs2, target``: branch if "
+    "greater-or-equal (signed).",
+)
+BneOp = _branch(
+    "BneOp", "bne", "``bne rs1, rs2, target``: branch if not equal."
+)
+BeqOp = _branch(
+    "BeqOp", "beq", "``beq rs1, rs2, target``: branch if equal."
+)
 
-    name = "rv_cf.beq"
-    mnemonic = "beq"
 
-
+@irdl_op_definition
 class BnezOp(RISCVInstruction):
     """``bnez rs1, target``: branch if non-zero."""
 
     name = "rv_cf.bnez"
     mnemonic = "bnez"
+    __slots__ = ()
 
-    def __init__(self, rs1: SSAValue, target: str):
-        super().__init__(
-            operands=[rs1],
-            attributes={"target": StringAttr(target)},
-        )
-
-    @property
-    def rs1(self) -> SSAValue:
-        """The tested register."""
-        return self.operands[0]
-
-    @property
-    def target(self) -> str:
-        """The branch target label."""
-        attr = self.attributes["target"]
-        assert isinstance(attr, StringAttr)
-        return attr.value
+    rs1 = operand_def(INT_REGISTER, doc="The tested register.")
+    target = successor_def(doc="The branch target label.")
 
     def assembly_args(self) -> list[str]:
         return [reg_name(self.rs1), self.target]
 
 
+@irdl_op_definition
 class JOp(RISCVInstruction):
     """``j target``: unconditional jump."""
 
     name = "rv_cf.j"
     mnemonic = "j"
+    __slots__ = ()
 
-    def __init__(self, target: str):
-        super().__init__(attributes={"target": StringAttr(target)})
-
-    @property
-    def target(self) -> str:
-        """The jump target label."""
-        attr = self.attributes["target"]
-        assert isinstance(attr, StringAttr)
-        return attr.value
+    target = successor_def(doc="The jump target label.")
 
     def assembly_args(self) -> list[str]:
         return [self.target]
+
+
+RISCV_CF = Dialect(
+    "rv_cf",
+    ops=[LabelOp, BltOp, BgeOp, BneOp, BeqOp, BnezOp, JOp],
+    doc="unstructured control flow: labels and branches",
+)
 
 
 __all__ = [
@@ -147,4 +125,5 @@ __all__ = [
     "BeqOp",
     "BnezOp",
     "JOp",
+    "RISCV_CF",
 ]

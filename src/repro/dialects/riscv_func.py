@@ -14,6 +14,12 @@ from typing import Sequence
 from ..backend.registers import FLOAT_ARG_REGISTERS, INT_ARG_REGISTERS
 from ..ir.attributes import StringAttr
 from ..ir.core import Block, IRError, Operation, Region, SSAValue
+from ..ir.irdl import (
+    Dialect,
+    attr_def,
+    irdl_op_definition,
+    region_def,
+)
 from ..ir.traits import IsolatedFromAbove, IsTerminator
 from .riscv import FloatRegisterType, IntRegisterType, RISCVInstruction
 
@@ -44,11 +50,16 @@ def abi_arg_types(
     return types
 
 
+@irdl_op_definition
 class FuncOp(Operation):
     """A function whose arguments live in ABI argument registers."""
 
     name = "rv_func.func"
     traits = frozenset([IsolatedFromAbove])
+    __slots__ = ()
+
+    sym_name = attr_def(StringAttr, doc="The function's symbol name.")
+    body = region_def(doc="The function body.")
 
     def __init__(
         self,
@@ -64,13 +75,6 @@ class FuncOp(Operation):
         )
 
     @property
-    def sym_name(self) -> str:
-        """The function's symbol name."""
-        attr = self.attributes["sym_name"]
-        assert isinstance(attr, StringAttr)
-        return attr.value
-
-    @property
     def entry_block(self) -> Block:
         """The function body's entry block."""
         block = self.body.first_block
@@ -83,7 +87,7 @@ class FuncOp(Operation):
         """Function arguments (pre-allocated to ABI registers)."""
         return list(self.entry_block.args)
 
-    def verify_(self) -> None:
+    def verify_extra_(self) -> None:
         for arg in self.entry_block.args:
             if not isinstance(
                 arg.type, (IntRegisterType, FloatRegisterType)
@@ -98,18 +102,21 @@ class FuncOp(Operation):
                 )
 
 
+@irdl_op_definition
 class ReturnOp(RISCVInstruction):
     """``ret``: return from the function."""
 
     name = "rv_func.return"
     mnemonic = "ret"
     traits = frozenset([IsTerminator])
-
-    def __init__(self):
-        super().__init__()
-
-    def assembly_args(self) -> list[str]:
-        return []
+    __slots__ = ()
 
 
-__all__ = ["FuncOp", "ReturnOp", "abi_arg_types"]
+RISCV_FUNC = Dialect(
+    "rv_func",
+    ops=[FuncOp, ReturnOp],
+    doc="ABI-aware functions (arguments in a-registers)",
+)
+
+
+__all__ = ["FuncOp", "ReturnOp", "abi_arg_types", "RISCV_FUNC"]

@@ -13,10 +13,19 @@ from typing import Sequence
 
 from ..ir.attributes import TypeAttribute
 from ..ir.core import Block, IRError, Operation, Region, SSAValue
+from ..ir.irdl import (
+    Dialect,
+    irdl_op_definition,
+    operand_def,
+    region_def,
+    var_operand_def,
+    var_result_def,
+)
 from ..ir.traits import IsTerminator
-from .riscv import FloatRegisterType, IntRegisterType
+from .riscv import INT_REGISTER, IntRegisterType
 
 
+@irdl_op_definition
 class ForOp(Operation):
     """``rv_scf.for %iv = %lb to %ub step %step iter_args(...)``.
 
@@ -26,6 +35,22 @@ class ForOp(Operation):
     """
 
     name = "rv_scf.for"
+    __slots__ = ()
+
+    lower_bound = operand_def(
+        INT_REGISTER, doc="Loop lower bound register (inclusive)."
+    )
+    upper_bound = operand_def(
+        INT_REGISTER, doc="Loop upper bound register (exclusive)."
+    )
+    step = operand_def(INT_REGISTER, doc="Loop step register.")
+    iter_args = var_operand_def(
+        doc="Initial values of loop-carried registers."
+    )
+    loop_results = var_result_def(
+        doc="Final values of the loop-carried registers."
+    )
+    body = region_def(doc="The loop body region.")
 
     def __init__(
         self,
@@ -53,26 +78,6 @@ class ForOp(Operation):
         )
 
     @property
-    def lower_bound(self) -> SSAValue:
-        """Loop lower bound register (inclusive)."""
-        return self.operands[0]
-
-    @property
-    def upper_bound(self) -> SSAValue:
-        """Loop upper bound register (exclusive)."""
-        return self.operands[1]
-
-    @property
-    def step(self) -> SSAValue:
-        """Loop step register."""
-        return self.operands[2]
-
-    @property
-    def iter_args(self) -> tuple[SSAValue, ...]:
-        """Initial values of loop-carried registers."""
-        return self.operands[3:]
-
-    @property
     def body_block(self) -> Block:
         """The loop body."""
         return self.body.block
@@ -87,12 +92,7 @@ class ForOp(Operation):
         """Body block args carrying the iteration state."""
         return list(self.body_block.args[1:])
 
-    def verify_(self) -> None:
-        for bound in self.operands[:3]:
-            if not isinstance(bound.type, IntRegisterType):
-                raise IRError(
-                    "rv_scf.for: bounds and step must be integer registers"
-                )
+    def verify_extra_(self) -> None:
         block = self.body.first_block
         if block is None:
             raise IRError("rv_scf.for: empty body")
@@ -112,14 +112,24 @@ class ForOp(Operation):
             raise IRError("rv_scf.for: yield arity mismatch")
 
 
+@irdl_op_definition
 class YieldOp(Operation):
     """Terminator carrying loop state to the next iteration."""
 
     name = "rv_scf.yield"
     traits = frozenset([IsTerminator])
+    __slots__ = ()
 
-    def __init__(self, values: Sequence[SSAValue] = ()):
-        super().__init__(operands=list(values))
+    values = var_operand_def(
+        doc="The values carried to the next iteration."
+    )
 
 
-__all__ = ["ForOp", "YieldOp"]
+RISCV_SCF = Dialect(
+    "rv_scf",
+    ops=[ForOp, YieldOp],
+    doc="structured for-loops over registers",
+)
+
+
+__all__ = ["ForOp", "YieldOp", "RISCV_SCF"]

@@ -19,8 +19,23 @@ from typing import Sequence
 
 from ..ir.attributes import IntAttr, StringAttr
 from ..ir.core import Block, IRError, Operation, Region, SSAValue
+from ..ir.irdl import (
+    BaseAttr,
+    Dialect,
+    ElementOf,
+    ParamAttr,
+    attr_def,
+    irdl_op_definition,
+    operand_def,
+    region_def,
+    result_def,
+    var_operand_def,
+    var_result_def,
+)
 from ..ir.traits import HasMemoryEffect, IsTerminator, Pure
 from .riscv import (
+    FLOAT_REGISTER,
+    INT_REGISTER,
     UNALLOCATED_FLOAT,
     FloatRegisterType,
     FRdRsRsInstruction,
@@ -31,6 +46,7 @@ from .riscv import (
 from .stream import ReadableStreamType, WritableStreamType
 
 
+@irdl_op_definition
 class FrepOuter(Operation):
     """``frep.o``: repeat the FP instruction body ``max_rep + 1`` times.
 
@@ -41,6 +57,19 @@ class FrepOuter(Operation):
     """
 
     name = "rv_snitch.frep_outer"
+    __slots__ = ()
+
+    max_rep = operand_def(
+        INT_REGISTER, doc="Register holding the repeat count minus one."
+    )
+    iter_args = var_operand_def(
+        doc="Initial values of the loop-carried FP registers."
+    )
+    loop_results = var_result_def(
+        FLOAT_REGISTER,
+        doc="Final values of the loop-carried FP registers.",
+    )
+    body = region_def(doc="The repeated instruction sequence.")
 
     def __init__(
         self,
@@ -61,16 +90,6 @@ class FrepOuter(Operation):
         )
 
     @property
-    def max_rep(self) -> SSAValue:
-        """Register holding the repeat count minus one."""
-        return self.operands[0]
-
-    @property
-    def iter_args(self) -> tuple[SSAValue, ...]:
-        """Initial values of the loop-carried FP registers."""
-        return self.operands[1:]
-
-    @property
     def body_block(self) -> Block:
         """The repeated instruction sequence."""
         return self.body.block
@@ -80,11 +99,7 @@ class FrepOuter(Operation):
         """Body block args carrying the accumulator state."""
         return list(self.body_block.args)
 
-    def verify_(self) -> None:
-        if not isinstance(self.max_rep.type, IntRegisterType):
-            raise IRError(
-                "frep_outer: repeat count must be an integer register"
-            )
+    def verify_extra_(self) -> None:
         block = self.body.first_block
         if block is None:
             raise IRError("frep_outer: empty body")
@@ -135,16 +150,20 @@ class FrepOuter(Operation):
         return count
 
 
+@irdl_op_definition
 class FrepYieldOp(Operation):
     """Terminator of a FREP body carrying accumulators to next iteration."""
 
     name = "rv_snitch.frep_yield"
     traits = frozenset([IsTerminator])
+    __slots__ = ()
 
-    def __init__(self, values: Sequence[SSAValue] = ()):
-        super().__init__(operands=list(values))
+    values = var_operand_def(
+        doc="The accumulator values carried to the next iteration."
+    )
 
 
+@irdl_op_definition
 class ReadOp(Operation):
     """``rv_snitch.read from %stream``: pop one element into its SSR.
 
@@ -155,51 +174,31 @@ class ReadOp(Operation):
 
     name = "rv_snitch.read"
     traits = frozenset([HasMemoryEffect])
+    __slots__ = ()
 
-    def __init__(self, stream: SSAValue):
-        stream_type = stream.type
-        if not isinstance(stream_type, ReadableStreamType):
-            raise IRError("rv_snitch.read: operand must be readable stream")
-        if not isinstance(stream_type.element_type, FloatRegisterType):
-            raise IRError(
-                "rv_snitch.read: stream must carry an FP register type"
-            )
-        super().__init__(
-            operands=[stream], result_types=[stream_type.element_type]
-        )
-
-    @property
-    def stream(self) -> SSAValue:
-        """The stream being read."""
-        return self.operands[0]
-
-    @property
-    def result(self) -> SSAValue:
-        """The value in the streaming register."""
-        return self.results[0]
+    stream = operand_def(
+        ParamAttr(ReadableStreamType, element_type=FLOAT_REGISTER),
+        doc="The stream being read.",
+    )
+    result = result_def(
+        FLOAT_REGISTER,
+        default=ElementOf("stream"),
+        doc="The value in the streaming register.",
+    )
 
 
+@irdl_op_definition
 class WriteOp(Operation):
     """``rv_snitch.write %v to %stream``: push one element via its SSR."""
 
     name = "rv_snitch.write"
     traits = frozenset([HasMemoryEffect])
+    __slots__ = ()
 
-    def __init__(self, value: SSAValue, stream: SSAValue):
-        stream_type = stream.type
-        if not isinstance(stream_type, WritableStreamType):
-            raise IRError("rv_snitch.write: operand must be writable stream")
-        super().__init__(operands=[value, stream])
-
-    @property
-    def value(self) -> SSAValue:
-        """The value pushed into the stream."""
-        return self.operands[0]
-
-    @property
-    def stream(self) -> SSAValue:
-        """The stream written to."""
-        return self.operands[1]
+    value = operand_def(doc="The value pushed into the stream.")
+    stream = operand_def(
+        BaseAttr(WritableStreamType), doc="The stream written to."
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -207,6 +206,7 @@ class WriteOp(Operation):
 # ---------------------------------------------------------------------------
 
 
+@irdl_op_definition
 class ScfgwiOp(RISCVInstruction):
     """``scfgwi rs1, imm``: write an SSR configuration word.
 
@@ -217,56 +217,30 @@ class ScfgwiOp(RISCVInstruction):
     name = "rv_snitch.scfgwi"
     mnemonic = "scfgwi"
     traits = frozenset([HasMemoryEffect])
+    __slots__ = ()
 
-    def __init__(self, value: SSAValue, address: int):
-        super().__init__(
-            operands=[value], attributes={"address": IntAttr(address)}
-        )
-
-    @property
-    def value(self) -> SSAValue:
-        """Register holding the configuration value."""
-        return self.operands[0]
-
-    @property
-    def address(self) -> int:
-        """Configuration word address (data mover + word index)."""
-        attr = self.attributes["address"]
-        assert isinstance(attr, IntAttr)
-        return attr.value
+    value = operand_def(
+        INT_REGISTER, doc="Register holding the configuration value."
+    )
+    address = attr_def(
+        IntAttr, doc="Configuration word address (data mover + word index)."
+    )
 
     def assembly_args(self) -> list[str]:
         return [reg_name(self.value), str(self.address)]
 
 
+@irdl_op_definition
 class CsrsiOp(RISCVInstruction):
     """``csrsi csr, imm``: set bits in a CSR (enables streaming)."""
 
     name = "rv_snitch.csrsi"
     mnemonic = "csrsi"
     traits = frozenset([HasMemoryEffect])
+    __slots__ = ()
 
-    def __init__(self, csr: str, immediate: int):
-        super().__init__(
-            attributes={
-                "csr": StringAttr(csr),
-                "immediate": IntAttr(immediate),
-            }
-        )
-
-    @property
-    def csr(self) -> str:
-        """The CSR name."""
-        attr = self.attributes["csr"]
-        assert isinstance(attr, StringAttr)
-        return attr.value
-
-    @property
-    def immediate(self) -> int:
-        """The bit mask set."""
-        attr = self.attributes["immediate"]
-        assert isinstance(attr, IntAttr)
-        return attr.value
+    csr = attr_def(StringAttr, doc="The CSR name.")
+    immediate = attr_def(IntAttr, doc="The bit mask set.")
 
     def assembly_args(self) -> list[str]:
         return [self.csr, str(self.immediate)]
@@ -277,6 +251,7 @@ class CsrciOp(CsrsiOp):
 
     name = "rv_snitch.csrci"
     mnemonic = "csrci"
+    __slots__ = ()
 
 
 # ---------------------------------------------------------------------------
@@ -289,6 +264,7 @@ class VFAddSOp(FRdRsRsInstruction):
 
     name = "rv_snitch.vfadd.s"
     mnemonic = "vfadd.s"
+    __slots__ = ()
 
 
 class VFMulSOp(FRdRsRsInstruction):
@@ -296,6 +272,7 @@ class VFMulSOp(FRdRsRsInstruction):
 
     name = "rv_snitch.vfmul.s"
     mnemonic = "vfmul.s"
+    __slots__ = ()
 
 
 class VFMaxSOp(FRdRsRsInstruction):
@@ -303,8 +280,10 @@ class VFMaxSOp(FRdRsRsInstruction):
 
     name = "rv_snitch.vfmax.s"
     mnemonic = "vfmax.s"
+    __slots__ = ()
 
 
+@irdl_op_definition
 class VFMacSOp(RISCVInstruction):
     """``vfmac.s rd, rs1, rs2``: lane-wise multiply-accumulate into rd.
 
@@ -316,38 +295,19 @@ class VFMacSOp(RISCVInstruction):
     mnemonic = "vfmac.s"
     traits = frozenset([Pure])
     tied = (0, 0)
+    __slots__ = ()
 
-    def __init__(
-        self,
-        accumulator: SSAValue,
-        rs1: SSAValue,
-        rs2: SSAValue,
-        result_type: FloatRegisterType | None = None,
-    ):
-        super().__init__(
-            operands=[accumulator, rs1, rs2],
-            result_types=[result_type or UNALLOCATED_FLOAT],
-        )
-
-    @property
-    def accumulator(self) -> SSAValue:
-        """Accumulator input (allocated to the same register as rd)."""
-        return self.operands[0]
-
-    @property
-    def rs1(self) -> SSAValue:
-        """First multiplicand vector."""
-        return self.operands[1]
-
-    @property
-    def rs2(self) -> SSAValue:
-        """Second multiplicand vector."""
-        return self.operands[2]
-
-    @property
-    def rd(self) -> SSAValue:
-        """New accumulator value."""
-        return self.results[0]
+    accumulator = operand_def(
+        FLOAT_REGISTER,
+        doc="Accumulator input (allocated to the same register as rd).",
+    )
+    rs1 = operand_def(FLOAT_REGISTER, doc="First multiplicand vector.")
+    rs2 = operand_def(FLOAT_REGISTER, doc="Second multiplicand vector.")
+    rd = result_def(
+        FLOAT_REGISTER,
+        default=UNALLOCATED_FLOAT,
+        doc="New accumulator value.",
+    )
 
     def assembly_args(self) -> list[str]:
         return [
@@ -357,6 +317,7 @@ class VFMacSOp(RISCVInstruction):
         ]
 
 
+@irdl_op_definition
 class VFSumSOp(RISCVInstruction):
     """``vfsum.s rd, rs1``: sum the two f32 lanes of rs1 into rd's lane 0.
 
@@ -367,69 +328,62 @@ class VFSumSOp(RISCVInstruction):
     mnemonic = "vfsum.s"
     traits = frozenset([Pure])
     tied = (0, 0)
+    __slots__ = ()
 
-    def __init__(
-        self,
-        accumulator: SSAValue,
-        rs1: SSAValue,
-        result_type: FloatRegisterType | None = None,
-    ):
-        super().__init__(
-            operands=[accumulator, rs1],
-            result_types=[result_type or UNALLOCATED_FLOAT],
-        )
-
-    @property
-    def accumulator(self) -> SSAValue:
-        """Accumulator input (same register as rd)."""
-        return self.operands[0]
-
-    @property
-    def rs1(self) -> SSAValue:
-        """The packed vector being reduced."""
-        return self.operands[1]
-
-    @property
-    def rd(self) -> SSAValue:
-        """New accumulator value."""
-        return self.results[0]
+    accumulator = operand_def(
+        FLOAT_REGISTER, doc="Accumulator input (same register as rd)."
+    )
+    rs1 = operand_def(
+        FLOAT_REGISTER, doc="The packed vector being reduced."
+    )
+    rd = result_def(
+        FLOAT_REGISTER,
+        default=UNALLOCATED_FLOAT,
+        doc="New accumulator value.",
+    )
 
     def assembly_args(self) -> list[str]:
         return [reg_name(self.rd), reg_name(self.rs1)]
 
 
+@irdl_op_definition
 class VFCpkaSSOp(RISCVInstruction):
     """``vfcpka.s.s rd, rs1, rs2``: pack two f32 scalars into one register."""
 
     name = "rv_snitch.vfcpka.s.s"
     mnemonic = "vfcpka.s.s"
     traits = frozenset([Pure])
+    __slots__ = ()
 
-    def __init__(
-        self,
-        rs1: SSAValue,
-        rs2: SSAValue,
-        result_type: FloatRegisterType | None = None,
-    ):
-        super().__init__(
-            operands=[rs1, rs2],
-            result_types=[result_type or UNALLOCATED_FLOAT],
-        )
+    rs1 = operand_def(FLOAT_REGISTER, doc="Scalar for lane 0.")
+    rs2 = operand_def(FLOAT_REGISTER, doc="Scalar for lane 1.")
+    rd = result_def(
+        FLOAT_REGISTER,
+        default=UNALLOCATED_FLOAT,
+        doc="The packed result.",
+    )
 
-    @property
-    def rs1(self) -> SSAValue:
-        """Scalar for lane 0."""
-        return self.operands[0]
 
-    @property
-    def rs2(self) -> SSAValue:
-        """Scalar for lane 1."""
-        return self.operands[1]
-
-    @property
-    def rd(self) -> SSAValue:
-        """The packed result."""
-        return self.results[0]
+RISCV_SNITCH = Dialect(
+    "rv_snitch",
+    ops=[
+        FrepOuter,
+        FrepYieldOp,
+        ReadOp,
+        WriteOp,
+        ScfgwiOp,
+        CsrsiOp,
+        CsrciOp,
+        VFAddSOp,
+        VFMulSOp,
+        VFMaxSOp,
+        VFMacSOp,
+        VFSumSOp,
+        VFCpkaSSOp,
+    ],
+    doc="Snitch ISA extensions: FREP, stream interaction, packed SIMD "
+    "(paper Sec. 3.2)",
+)
 
 
 __all__ = [
@@ -446,4 +400,5 @@ __all__ = [
     "VFMacSOp",
     "VFSumSOp",
     "VFCpkaSSOp",
+    "RISCV_SNITCH",
 ]

@@ -12,9 +12,18 @@ from typing import Sequence
 
 from ..ir.attributes import IndexType
 from ..ir.core import Block, IRError, Operation, Region, SSAValue
+from ..ir.irdl import (
+    Dialect,
+    irdl_op_definition,
+    operand_def,
+    region_def,
+    var_operand_def,
+    var_result_def,
+)
 from ..ir.traits import IsTerminator
 
 
+@irdl_op_definition
 class ForOp(Operation):
     """A counted loop ``for %i = %lb to %ub step %step iter_args(...)``.
 
@@ -25,6 +34,18 @@ class ForOp(Operation):
     """
 
     name = "scf.for"
+    __slots__ = ()
+
+    lower_bound = operand_def(doc="Loop lower bound (inclusive).")
+    upper_bound = operand_def(doc="Loop upper bound (exclusive).")
+    step = operand_def(doc="Loop step.")
+    iter_args = var_operand_def(
+        doc="Initial values of the loop-carried variables."
+    )
+    loop_results = var_result_def(
+        doc="Final values of the loop-carried variables."
+    )
+    body = region_def(doc="The loop body region.")
 
     def __init__(
         self,
@@ -46,26 +67,6 @@ class ForOp(Operation):
         )
 
     @property
-    def lower_bound(self) -> SSAValue:
-        """Loop lower bound (inclusive)."""
-        return self.operands[0]
-
-    @property
-    def upper_bound(self) -> SSAValue:
-        """Loop upper bound (exclusive)."""
-        return self.operands[1]
-
-    @property
-    def step(self) -> SSAValue:
-        """Loop step."""
-        return self.operands[2]
-
-    @property
-    def iter_args(self) -> tuple[SSAValue, ...]:
-        """Initial values of the loop-carried variables."""
-        return self.operands[3:]
-
-    @property
     def body_block(self) -> Block:
         """The loop body."""
         return self.body.block
@@ -80,7 +81,7 @@ class ForOp(Operation):
         """The body block arguments carrying the iteration state."""
         return list(self.body_block.args[1:])
 
-    def verify_(self) -> None:
+    def verify_extra_(self) -> None:
         block = self.body.first_block
         if block is None:
             raise IRError("scf.for: empty body")
@@ -98,14 +99,22 @@ class ForOp(Operation):
             )
 
 
+@irdl_op_definition
 class YieldOp(Operation):
     """Terminator passing loop-carried values to the next iteration."""
 
     name = "scf.yield"
     traits = frozenset([IsTerminator])
+    __slots__ = ()
 
-    def __init__(self, values: Sequence[SSAValue] = ()):
-        super().__init__(operands=list(values))
+    values = var_operand_def(doc="The values carried to the next iteration.")
 
 
-__all__ = ["ForOp", "YieldOp"]
+SCF = Dialect(
+    "scf",
+    ops=[ForOp, YieldOp],
+    doc="structured control flow (counted loops)",
+)
+
+
+__all__ = ["ForOp", "YieldOp", "SCF"]

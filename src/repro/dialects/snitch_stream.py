@@ -18,8 +18,15 @@ from typing import Sequence
 from ..backend.registers import SNITCH_STREAM_REGISTERS
 from ..ir.attributes import ArrayAttr, Attribute, DenseIntAttr
 from ..ir.core import Block, IRError, Operation, Region, SSAValue
+from ..ir.irdl import (
+    Dialect,
+    attr_def,
+    irdl_op_definition,
+    region_def,
+    var_operand_def,
+)
 from ..ir.traits import HasMemoryEffect
-from .riscv import FloatRegisterType, IntRegisterType
+from .riscv import INT_REGISTER, FloatRegisterType
 from .stream import ReadableStreamType, WritableStreamType
 
 
@@ -106,6 +113,7 @@ class StridePattern(Attribute):
         return StridePattern([u for u, _ in dims], [s for _, s in dims])
 
 
+@irdl_op_definition
 class StreamingRegionOp(Operation):
     """Scope where SSR streaming is enabled, over pointer registers.
 
@@ -118,6 +126,19 @@ class StreamingRegionOp(Operation):
 
     name = "snitch_stream.streaming_region"
     traits = frozenset([HasMemoryEffect])
+    __slots__ = ()
+
+    inputs = var_operand_def(
+        INT_REGISTER, doc="Input pointer registers."
+    )
+    outputs = var_operand_def(
+        INT_REGISTER, doc="Output pointer registers."
+    )
+    patterns = attr_def(
+        ArrayAttr,
+        doc="Stride pattern per streamed operand (inputs then outputs).",
+    )
+    body = region_def(doc="The streaming body.")
 
     def __init__(
         self,
@@ -163,49 +184,23 @@ class StreamingRegionOp(Operation):
         )
 
     @property
-    def _segments(self) -> tuple[int, int]:
-        attr = self.attributes["operand_segment_sizes"]
-        assert isinstance(attr, DenseIntAttr)
-        return attr[0], attr[1]
-
-    @property
-    def inputs(self) -> tuple[SSAValue, ...]:
-        """Input pointer registers."""
-        n_in, _ = self._segments
-        return self.operands[:n_in]
-
-    @property
-    def outputs(self) -> tuple[SSAValue, ...]:
-        """Output pointer registers."""
-        n_in, n_out = self._segments
-        return self.operands[n_in : n_in + n_out]
-
-    @property
-    def patterns(self) -> list[StridePattern]:
-        """Stride pattern per streamed operand (inputs then outputs)."""
-        attr = self.attributes["patterns"]
-        assert isinstance(attr, ArrayAttr)
-        return list(attr.elements)  # type: ignore[arg-type]
-
-    @property
     def body_block(self) -> Block:
         """The streaming body."""
         return self.body.block
 
     def stream_registers(self) -> list[str]:
         """The ftN registers reserved while this region is active."""
-        n_in, n_out = self._segments
-        return list(SNITCH_STREAM_REGISTERS[: n_in + n_out])
+        return list(
+            SNITCH_STREAM_REGISTERS[
+                : len(self.inputs) + len(self.outputs)
+            ]
+        )
 
-    def verify_(self) -> None:
-        n_in, n_out = self._segments
+    def verify_extra_(self) -> None:
+        n_in = len(self.inputs)
+        n_out = len(self.outputs)
         if len(self.patterns) != n_in + n_out:
             raise IRError("streaming_region: one pattern per operand")
-        for pointer in self.operands:
-            if not isinstance(pointer.type, IntRegisterType):
-                raise IRError(
-                    "streaming_region: operands must be pointer registers"
-                )
         block = self.body.first_block
         if block is None:
             raise IRError("streaming_region: empty body")
@@ -224,4 +219,12 @@ class StreamingRegionOp(Operation):
                 )
 
 
-__all__ = ["StridePattern", "StreamingRegionOp"]
+SNITCH_STREAM = Dialect(
+    "snitch_stream",
+    ops=[StreamingRegionOp],
+    attrs=[StridePattern],
+    doc="register-level streaming regions with constant stride patterns",
+)
+
+
+__all__ = ["StridePattern", "StreamingRegionOp", "SNITCH_STREAM"]

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..ir.attributes import TypeAttribute
+from ..ir.irdl import Dialect
 
 
 @dataclass(frozen=True)
@@ -33,4 +34,11 @@ class WritableStreamType(TypeAttribute):
         return f"!stream.writable<{self.element_type}>"
 
 
-__all__ = ["ReadableStreamType", "WritableStreamType"]
+STREAM = Dialect(
+    "stream",
+    attrs=[ReadableStreamType, WritableStreamType],
+    doc="typed handles to hardware data streams",
+)
+
+
+__all__ = ["ReadableStreamType", "WritableStreamType", "STREAM"]

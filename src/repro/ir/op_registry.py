@@ -2,18 +2,20 @@
 
 The textual parser needs to reconstruct typed operation objects (so
 verification hooks and accessors work on parsed IR).  Registration is
-explicit-but-automated: :func:`populate` imports every dialect module
-and records each concrete :class:`~repro.ir.core.Operation` subclass
-under its ``name``.
+driven by the first-class :class:`~repro.ir.irdl.Dialect` objects each
+dialect module exports: :func:`populate` imports every dialect module
+and registers its ``Dialect`` — there is no ``inspect`` scan and no
+"abstract helper" sentinel; a class is registered exactly when its
+dialect lists it.
 """
 
 from __future__ import annotations
 
-import inspect
-
 from .core import Operation
+from .irdl import Dialect
 
 _REGISTRY: dict[str, type[Operation]] = {}
+_DIALECTS: dict[str, Dialect] = {}
 
 
 def register(op_class: type[Operation]) -> None:
@@ -27,19 +29,21 @@ def register(op_class: type[Operation]) -> None:
     _REGISTRY[name] = op_class
 
 
-def _register_module(module) -> None:
-    for _, value in inspect.getmembers(module, inspect.isclass):
-        if (
-            issubclass(value, Operation)
-            and value is not Operation
-            and value.name != Operation.name  # abstract helper classes
-        ):
-            register(value)
+def register_dialect(dialect: Dialect) -> None:
+    """Register a dialect and all its operations (idempotent)."""
+    existing = _DIALECTS.get(dialect.name)
+    if existing is dialect:
+        return
+    if existing is not None:
+        raise ValueError(f"duplicate dialect {dialect.name!r}")
+    for op_class in dialect.ops:
+        register(op_class)
+    _DIALECTS[dialect.name] = dialect
 
 
 def populate() -> None:
     """Import all dialects and fill the registry (idempotent)."""
-    from ..dialects import (  # noqa: F401  (imported for registration)
+    from ..dialects import (
         arith,
         builtin,
         func,
@@ -53,14 +57,26 @@ def populate() -> None:
         riscv_snitch,
         scf,
         snitch_stream,
+        stream,
     )
 
-    for module in (
-        arith, builtin, func, linalg, memref, memref_stream,
-        riscv, riscv_cf, riscv_func, riscv_scf, riscv_snitch, scf,
-        snitch_stream,
+    for dialect in (
+        builtin.BUILTIN,
+        arith.ARITH,
+        func.FUNC,
+        scf.SCF,
+        memref.MEMREF,
+        linalg.LINALG,
+        stream.STREAM,
+        memref_stream.MEMREF_STREAM,
+        riscv.RISCV,
+        riscv_cf.RISCV_CF,
+        riscv_func.RISCV_FUNC,
+        riscv_scf.RISCV_SCF,
+        riscv_snitch.RISCV_SNITCH,
+        snitch_stream.SNITCH_STREAM,
     ):
-        _register_module(module)
+        register_dialect(dialect)
 
 
 def lookup(name: str) -> type[Operation]:
@@ -77,4 +93,26 @@ def registered_names() -> list[str]:
     return sorted(_REGISTRY)
 
 
-__all__ = ["register", "populate", "lookup", "registered_names"]
+def dialects() -> list[Dialect]:
+    """All registered dialects, sorted by name."""
+    if not _DIALECTS:
+        populate()
+    return [_DIALECTS[name] for name in sorted(_DIALECTS)]
+
+
+def get_dialect(name: str) -> Dialect | None:
+    """The dialect registered under ``name``, if any."""
+    if not _DIALECTS:
+        populate()
+    return _DIALECTS.get(name)
+
+
+__all__ = [
+    "register",
+    "register_dialect",
+    "populate",
+    "lookup",
+    "registered_names",
+    "dialects",
+    "get_dialect",
+]

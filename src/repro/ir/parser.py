@@ -38,12 +38,17 @@ from .attributes import (
     SymbolRefAttr,
     TypeAttribute,
 )
-from .core import Block, Operation, Region, SSAValue
+from .core import Block, IRError, Operation, Region, SSAValue
 from . import op_registry
 
 
-class ParseError(Exception):
-    """Raised on malformed IR text, with position information."""
+class ParseError(IRError):
+    """Raised on malformed IR text, with position information.
+
+    A subclass of :class:`~repro.ir.core.IRError`: a parse failure *is*
+    malformed IR, so callers that guard IR construction with ``except
+    IRError`` also catch text-level problems.
+    """
 
     def __init__(self, message: str, text: str, position: int):
         line = text.count("\n", 0, position) + 1
@@ -84,6 +89,10 @@ class Parser:
 
     def error(self, message: str) -> ParseError:
         return ParseError(message, self.text, self.pos)
+
+    def error_at(self, position: int, message: str) -> ParseError:
+        """An error anchored at an earlier position (e.g. an op name)."""
+        return ParseError(message, self.text, position)
 
     def skip_ws(self) -> None:
         while self.pos < len(self.text):
@@ -133,6 +142,8 @@ class Parser:
     def parse_operation(self) -> Operation:
         """Parse one (possibly nested) operation."""
         result_names = self._parse_result_bindings()
+        self.skip_ws()
+        name_pos = self.pos
         name = self._parse_op_name()
         operands = self._parse_operand_list()
         regions = self._parse_optional_regions()
@@ -140,12 +151,36 @@ class Parser:
         self.expect(":")
         operand_types, result_types = self._parse_signature()
         if len(operand_types) != len(operands):
-            raise self.error("operand/type arity mismatch")
+            raise self.error_at(
+                name_pos,
+                f"'{name}': {len(operands)} operand(s) but "
+                f"{len(operand_types)} operand type(s)",
+            )
         if len(result_names) not in (0, len(result_types)):
-            raise self.error("result binding arity mismatch")
+            raise self.error_at(
+                name_pos,
+                f"'{name}': {len(result_names)} result binding(s) but "
+                f"{len(result_types)} result type(s)",
+            )
         op_class = op_registry.lookup(name)
         if op_class is Operation:
+            # Tolerate entirely foreign dialects (round-tripping IR from
+            # other tools), but an unknown op *within* a registered
+            # dialect is almost certainly a typo — reject it with the
+            # offending name and source location.
+            namespace = name.partition(".")[0]
+            if op_registry.get_dialect(namespace) is not None:
+                raise self.error_at(
+                    name_pos,
+                    f"unknown operation '{name}' in registered dialect "
+                    f"'{namespace}'",
+                )
             op_class = _unregistered_class(name)
+        spec = getattr(op_class, "irdl_spec", None)
+        if spec is not None:
+            complaint = spec.check_arity(len(operands), len(result_types))
+            if complaint is not None:
+                raise self.error_at(name_pos, f"'{name}': {complaint}")
         op = object.__new__(op_class)
         Operation.__init__(
             op,
@@ -158,8 +193,10 @@ class Parser:
             self.values[binding] = result
         for value, declared in zip(operands, operand_types):
             if value.type != declared:
-                raise self.error(
-                    f"operand type mismatch: {value.type} vs {declared}"
+                raise self.error_at(
+                    name_pos,
+                    f"'{name}': operand type mismatch: {value.type} vs "
+                    f"{declared}",
                 )
         return op
 

@@ -78,6 +78,12 @@ def build_argument_parser() -> argparse.ArgumentParser:
         help="print each named pipeline's expanded spec and exit",
     )
     parser.add_argument(
+        "--list-dialects",
+        action="store_true",
+        help="print each registered dialect (name, op count, one-line "
+        "doc) and exit",
+    )
+    parser.add_argument(
         "--unroll-factor",
         type=int,
         default=None,
@@ -128,6 +134,17 @@ def list_pipelines() -> None:
     width = max(map(len, NAMED_PIPELINES))
     for name in sorted(NAMED_PIPELINES):
         print(f"{name:<{width}}  {NAMED_PIPELINES[name]}")
+
+
+def list_dialects() -> None:
+    """Print each registered dialect: name, op count, one-line doc."""
+    from ..ir import op_registry
+
+    dialects = op_registry.dialects()
+    width = max(len(d.name) for d in dialects)
+    for dialect in dialects:
+        count = f"{len(dialect.ops):3} ops"
+        print(f"{dialect.name:<{width}}  {count}  {dialect.doc}")
 
 
 def compile_kernel(
@@ -216,8 +233,14 @@ def main(argv=None) -> int:
     if args.list_pipelines:
         list_pipelines()
         return 0
+    if args.list_dialects:
+        list_dialects()
+        return 0
     if args.kernel is None:
-        parser.error("a kernel name is required (or --list-pipelines)")
+        parser.error(
+            "a kernel name is required (or --list-pipelines / "
+            "--list-dialects)"
+        )
     spec, compiled = compile_kernel(
         args.kernel,
         args.sizes,

@@ -1,0 +1,425 @@
+"""Tests for the IRDL-style declarative definition layer."""
+
+import pytest
+
+from repro.dialects import riscv
+from repro.dialects.riscv import FloatRegisterType, IntRegisterType
+from repro.ir import op_registry
+from repro.ir.attributes import (
+    DenseIntAttr,
+    IntAttr,
+    StringAttr,
+    f64,
+    index,
+)
+from repro.ir.core import Block, IRError, Operation
+from repro.ir.irdl import (
+    AnyAttr,
+    AnyOf,
+    BaseAttr,
+    Dialect,
+    EqAttr,
+    ParamAttr,
+    SameAs,
+    attr_def,
+    coerce_constraint,
+    irdl_op_definition,
+    operand_def,
+    opt_attr_def,
+    result_def,
+    var_operand_def,
+)
+from repro.ir.parser import ParseError, parse_op
+from repro.ir.traits import SameOperandsAndResultType
+
+
+def value(vtype=f64):
+    """A fresh SSA value of the given type (a block argument)."""
+    return Block([vtype]).args[0]
+
+
+class TestConstraints:
+    def test_any(self):
+        assert AnyAttr().satisfied_by(f64)
+        assert AnyAttr().satisfied_by(index)
+
+    def test_base(self):
+        c = BaseAttr(IntRegisterType)
+        assert c.satisfied_by(IntRegisterType("t0"))
+        assert not c.satisfied_by(FloatRegisterType("ft0"))
+
+    def test_eq(self):
+        c = EqAttr(f64)
+        assert c.satisfied_by(f64)
+        assert not c.satisfied_by(index)
+
+    def test_any_of(self):
+        c = AnyOf(IntRegisterType, FloatRegisterType)
+        assert c.satisfied_by(IntRegisterType())
+        assert c.satisfied_by(FloatRegisterType("ft0"))
+        assert not c.satisfied_by(f64)
+
+    def test_param_attr(self):
+        from repro.dialects.stream import ReadableStreamType
+
+        c = ParamAttr(ReadableStreamType, element_type=FloatRegisterType)
+        assert c.satisfied_by(ReadableStreamType(FloatRegisterType()))
+        assert not c.satisfied_by(ReadableStreamType(f64))
+        assert not c.satisfied_by(f64)
+
+    def test_coerce(self):
+        assert isinstance(coerce_constraint(None), AnyAttr)
+        assert isinstance(coerce_constraint(IntRegisterType), BaseAttr)
+        assert isinstance(coerce_constraint(f64), EqAttr)
+        with pytest.raises(TypeError):
+            coerce_constraint(42)
+
+    def test_describe(self):
+        assert "IntRegisterType" in AnyOf(
+            IntRegisterType, FloatRegisterType
+        ).describe()
+
+
+@irdl_op_definition
+class _PairOp(Operation):
+    """A test op: two constrained operands, one derived result."""
+
+    name = "testdl.pair"
+    __slots__ = ()
+
+    lhs = operand_def(BaseAttr(IntRegisterType))
+    rhs = operand_def(BaseAttr(IntRegisterType))
+    count = attr_def(IntAttr)
+    tag = opt_attr_def(StringAttr)
+    result = result_def(BaseAttr(IntRegisterType), default=SameAs("lhs"))
+
+
+@irdl_op_definition
+class _VariadicOp(Operation):
+    """A test op: fixed head operand plus a variadic tail."""
+
+    name = "testdl.variadic"
+    __slots__ = ()
+
+    anchor = operand_def(BaseAttr(IntRegisterType))
+    rest = var_operand_def(BaseAttr(FloatRegisterType))
+
+
+@irdl_op_definition
+class _SegmentedOp(Operation):
+    """A test op with two variadic operand groups (segment-encoded)."""
+
+    name = "testdl.segmented"
+    __slots__ = ()
+
+    inputs = var_operand_def()
+    outputs = var_operand_def()
+
+
+@irdl_op_definition
+class _SameTypeOp(Operation):
+    """A test op with the SameOperandsAndResultType trait."""
+
+    name = "testdl.same"
+    traits = frozenset([SameOperandsAndResultType])
+    __slots__ = ()
+
+    lhs = operand_def()
+    rhs = operand_def()
+    result = result_def(default=SameAs("lhs"))
+
+
+class TestSynthesizedInit:
+    def test_positional_and_accessors(self):
+        a, b = value(IntRegisterType("t0")), value(IntRegisterType("t1"))
+        op = _PairOp(a, b, 3)
+        assert op.lhs is a and op.rhs is b
+        assert op.count == 3
+        assert op.tag is None
+        assert op.result.type == IntRegisterType("t0")
+
+    def test_result_type_alias(self):
+        a, b = value(IntRegisterType()), value(IntRegisterType())
+        op = _PairOp(a, b, 1, result_type=IntRegisterType("t5"))
+        assert op.result.type == IntRegisterType("t5")
+
+    def test_missing_operand_rejected(self):
+        with pytest.raises(TypeError, match="missing required operand"):
+            _PairOp(value(IntRegisterType()))
+
+    def test_missing_attr_rejected(self):
+        a, b = value(IntRegisterType()), value(IntRegisterType())
+        with pytest.raises(TypeError, match="missing required attribute"):
+            _PairOp(a, b)
+
+    def test_unknown_kwarg_rejected(self):
+        with pytest.raises(TypeError, match="unexpected argument"):
+            _PairOp(nonsense=1)
+
+    def test_operand_constraint_enforced(self):
+        a, bad = value(IntRegisterType()), value(f64)
+        with pytest.raises(IRError, match="lhs"):
+            _PairOp(bad, a, 1)
+
+    def test_optional_attr_stored(self):
+        a, b = value(IntRegisterType()), value(IntRegisterType())
+        op = _PairOp(a, b, 1, tag="hello")
+        assert op.tag == "hello"
+        assert op.attributes["tag"] == StringAttr("hello")
+
+    def test_variadic_group(self):
+        head = value(IntRegisterType())
+        tail = [value(FloatRegisterType()) for _ in range(3)]
+        op = _VariadicOp(head, tail)
+        assert op.anchor is head
+        assert list(op.rest) == tail
+        op.verify_()
+
+    def test_segment_sizes_attr(self):
+        xs = [value(f64), value(f64)]
+        ys = [value(index)]
+        op = _SegmentedOp(xs, ys)
+        assert op.attributes["operand_segment_sizes"] == DenseIntAttr(
+            [2, 1]
+        )
+        assert list(op.inputs) == xs
+        assert list(op.outputs) == ys
+        op.verify_()
+
+
+class TestGeneratedVerify:
+    def test_arity_enforced(self):
+        op = object.__new__(_PairOp)
+        Operation.__init__(
+            op,
+            operands=[value(IntRegisterType())],
+            result_types=[IntRegisterType()],
+            attributes={"count": IntAttr(1)},
+        )
+        with pytest.raises(IRError, match="expected 2 operand"):
+            op.verify_()
+
+    def test_operand_type_enforced(self):
+        op = object.__new__(_PairOp)
+        Operation.__init__(
+            op,
+            operands=[value(f64), value(IntRegisterType())],
+            result_types=[IntRegisterType()],
+            attributes={"count": IntAttr(1)},
+        )
+        with pytest.raises(IRError, match="lhs"):
+            op.verify_()
+
+    def test_missing_attr_enforced(self):
+        op = object.__new__(_PairOp)
+        Operation.__init__(
+            op,
+            operands=[value(IntRegisterType())] * 2,
+            result_types=[IntRegisterType()],
+        )
+        with pytest.raises(IRError, match="missing attribute 'count'"):
+            op.verify_()
+
+    def test_bad_segment_attr_enforced(self):
+        op = object.__new__(_SegmentedOp)
+        Operation.__init__(
+            op,
+            operands=[value(f64)],
+            attributes={"operand_segment_sizes": DenseIntAttr([3, 1])},
+        )
+        with pytest.raises(IRError, match="operand_segment_sizes"):
+            op.verify_()
+
+    def test_same_type_trait_enforced(self):
+        op = _SameTypeOp(value(f64), value(f64))
+        op.verify_()
+        bad = object.__new__(_SameTypeOp)
+        Operation.__init__(
+            bad,
+            operands=[value(f64), value(index)],
+            result_types=[f64],
+        )
+        with pytest.raises(IRError, match="types differ"):
+            bad.verify_()
+
+    def test_variadic_element_type_enforced(self):
+        op = _VariadicOp(
+            value(IntRegisterType()), [value(FloatRegisterType())]
+        )
+        op.verify_()
+        bad = object.__new__(_VariadicOp)
+        Operation.__init__(
+            bad,
+            operands=[value(IntRegisterType()), value(index)],
+        )
+        with pytest.raises(IRError, match="rest"):
+            bad.verify_()
+
+    def test_no_handwritten_declarative_verify(self):
+        """No dialect op may hand-roll what its spec already checks.
+
+        Every registered op either inherits the generated ``verify_``
+        (its class dict chain holds the compiled closure) or confines
+        bespoke logic to ``verify_extra_``.
+        """
+        for name in op_registry.registered_names():
+            op_class = op_registry.lookup(name)
+            assert hasattr(op_class, "irdl_spec"), name
+            verify = op_class.verify_
+            assert getattr(verify, "__qualname__", "").endswith(
+                "verify_"
+            ), name
+
+
+class TestInheritedDefinitions:
+    def test_leaf_errors_name_the_leaf(self):
+        """Errors from an inherited constructor name the concrete op."""
+        bad = value(FloatRegisterType("ft0"))
+        with pytest.raises(IRError, match="rv.add"):
+            riscv.AddOp(bad, bad)
+        with pytest.raises(TypeError, match="AddOp"):
+            riscv.AddOp()
+
+    def test_subclass_verify_extra_is_called(self):
+        """A verify_extra_ added *below* the decorated class still runs."""
+
+        class PickyOp(riscv.RdRsRsInstruction):
+            name = "rv.picky_test"
+            __slots__ = ()
+
+            def verify_extra_(self):
+                raise IRError("picky")
+
+        a = value(IntRegisterType("t0"))
+        with pytest.raises(IRError, match="picky"):
+            PickyOp(a, a).verify_()
+
+    def test_zero_result_spec_enforced(self):
+        """An op declaring no results must not carry any."""
+        from repro.dialects import riscv_func
+
+        bad = object.__new__(riscv_func.ReturnOp)
+        Operation.__init__(bad, result_types=[IntRegisterType()])
+        with pytest.raises(IRError, match="expected 0 result"):
+            bad.verify_()
+
+    def test_variadic_results_accepted(self):
+        """Loop ops declare a variadic result group: any count passes."""
+        from repro.dialects import riscv_scf
+
+        regs = [value(IntRegisterType()) for _ in range(3)]
+        iters = [value(FloatRegisterType())]
+        loop = riscv_scf.ForOp(*regs, iters)
+        loop.body_block.add_op(
+            riscv_scf.YieldOp(loop.body_iter_args)
+        )
+        loop.verify_()
+        assert loop.loop_results == tuple(loop.results)
+
+    def test_variadic_results_need_custom_init(self):
+        with pytest.raises(TypeError, match="variadic result"):
+
+            @irdl_op_definition
+            class _BadOp(Operation):
+                name = "testdl.badvar"
+                __slots__ = ()
+
+                outs = __import__(
+                    "repro.ir.irdl", fromlist=["var_result_def"]
+                ).var_result_def()
+
+
+class TestSuccessors:
+    def test_successor_reads_as_label(self):
+        from repro.dialects import riscv_cf
+
+        branch = riscv_cf.BltOp(
+            value(IntRegisterType("t0")),
+            value(IntRegisterType("t1")),
+            ".loop",
+        )
+        assert branch.target == ".loop"
+        assert branch.attributes["target"] == StringAttr(".loop")
+        spec = riscv_cf.BltOp.irdl_spec
+        succ = [n for n, d in spec.attrs if d.is_successor]
+        assert succ == ["target"]
+
+
+class TestDialect:
+    def test_namespace_enforced(self):
+        with pytest.raises(ValueError, match="does not belong"):
+            Dialect("other", ops=[_PairOp])
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ValueError, match="duplicate op"):
+            Dialect("testdl", ops=[_PairOp, _PairOp])
+
+    def test_op_names_sorted(self):
+        d = Dialect("testdl", ops=[_VariadicOp, _PairOp])
+        assert d.op_names() == ["testdl.pair", "testdl.variadic"]
+
+    def test_registry_is_dialect_driven(self):
+        for dialect in op_registry.dialects():
+            for op_class in dialect.ops:
+                assert op_registry.lookup(op_class.name) is op_class
+
+    def test_register_dialect_idempotent(self):
+        op_registry.populate()
+        before = op_registry.registered_names()
+        op_registry.populate()
+        assert op_registry.registered_names() == before
+
+    def test_duplicate_dialect_rejected(self):
+        op_registry.populate()
+        with pytest.raises(ValueError, match="duplicate dialect"):
+            op_registry.register_dialect(Dialect("rv"))
+
+    def test_instruction_table_is_registered(self):
+        """The rv.* leaf table materialized real, registered classes."""
+        assert op_registry.lookup("rv.fmadd.d") is riscv.FMAddDOp
+        assert riscv.FMAddDOp.mnemonic == "fmadd.d"
+        assert riscv.FMAddDOp.irdl_spec.operands[0][0] == "rs1"
+
+
+class TestParserDiagnostics:
+    def test_unknown_op_in_registered_dialect(self):
+        with pytest.raises(ParseError) as err:
+            parse_op('"arith.bogus"() : () -> ()')
+        message = str(err.value)
+        assert "arith.bogus" in message
+        assert "line 1" in message
+
+    def test_unknown_dialect_still_generic(self):
+        op = parse_op('"mystery.op"() : () -> ()')
+        assert op.name == "mystery.op"
+
+    def test_operand_arity_checked_against_spec(self):
+        with pytest.raises(ParseError) as err:
+            parse_op(
+                '"builtin.module"() ({\n^0():\n'
+                '%0 = "rv.get_register"() : () -> (!rv.reg)\n'
+                '%1 = "rv.add"(%0) : (!rv.reg) -> (!rv.reg)\n'
+                "}) : () -> ()"
+            )
+        message = str(err.value)
+        assert "rv.add" in message
+        assert "expected 2 operand(s)" in message
+        assert "line 4" in message
+
+    def test_result_arity_checked_against_spec(self):
+        with pytest.raises(ParseError) as err:
+            parse_op('"rv.li"() {immediate = 4} : () -> ()')
+        assert "expected 1 result(s)" in str(err.value)
+
+    def test_type_mismatch_names_op(self):
+        with pytest.raises(ParseError) as err:
+            parse_op(
+                '"builtin.module"() ({\n^0():\n'
+                '%0 = "rv.get_register"() : () -> (!rv.reg)\n'
+                '"rv_cf.bnez"(%0) {target = "x"} : (!rv.freg) -> ()\n'
+                "}) : () -> ()"
+            )
+        assert "rv_cf.bnez" in str(err.value)
+
+    def test_parse_error_is_ir_error(self):
+        assert issubclass(ParseError, IRError)
