@@ -1,0 +1,269 @@
+"""Simulator-throughput benchmark: predecoded engine vs. reference.
+
+Measures simulated instructions per wall-clock second for both
+execution engines — :meth:`SnitchMachine.run` (the predecoded,
+closure-threaded engine) and :meth:`SnitchMachine.run_reference` (the
+original decode-as-you-go interpreter) — on one workload per kernel
+class the paper evaluates:
+
+* ``scalar_loop`` — the MatMul through the scalar-loop baseline
+  pipeline (explicit loads/stores, branches; integer-core heavy);
+* ``frep_ssr_gemm`` — the MatMul through the full ``ours`` pipeline
+  (FREP macro-op replay + 3 SSR streams; the paper's headline shape
+  and this benchmark's headline: the engine must hold a >= 3x paired
+  advantage here);
+* ``packed_simd`` — the handwritten f32 MatMulT with ``vfmac.s``/
+  ``vfsum.s`` packed-SIMD (paper Section 4.3);
+* ``full_network`` — the NSNet2 layer mix end to end.
+
+The machine's wall-clock speed drifts on shared hardware, so the
+headline number is *paired*: each round times reference and fast
+engines back to back in an ABBA order and only the in-round ratio is
+kept; the reported speedup is the median of those ratios.
+
+Run as a script to (re)generate ``results/BENCH_sim_throughput.json``::
+
+    PYTHONPATH=src python benchmarks/bench_sim_throughput.py
+
+With ``BENCH_SIM_SMOKE=1`` only a downsized GEMM runs for one round —
+the CI uses that to validate the harness and the JSON schema without
+burning minutes.
+
+JSON schema (``schema`` = 1)::
+
+    {
+      "schema": 1,
+      "protocol": "...",
+      "smoke": false,
+      "workloads": {
+        "<name>": {
+          "kernel": "...", "pipeline": "...",
+          "instructions": <simulated instructions per run>,
+          "ref_ips": .., "fast_ips": ..,        # median inst/second
+          "paired_ratios": [..],                # per-round ref/fast
+          "speedup": ..                         # median paired ratio
+        }
+      },
+      "headline": {"workload": "frep_ssr_gemm", "ref_ips": ..,
+                   "fast_ips": .., "speedup": ..}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import time
+
+import numpy as np
+
+from repro import api, kernels
+from repro.kernels import lowlevel, networks
+from repro.snitch.machine import SnitchMachine
+from repro.snitch.memory import TCDM
+
+RESULTS_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "results", "BENCH_sim_throughput.json"
+)
+
+#: ABBA rounds per workload (each round: fast, ref, ref, fast).
+ROUNDS = 5
+
+PROTOCOL = (
+    "per workload: decode/compile untimed, then {rounds} ABBA rounds "
+    "(fast, ref, ref, fast), each leg simulating the kernel once on a "
+    "freshly seeded TCDM; paired_ratios[i] = (ref wall of round i) / "
+    "(fast wall of round i); speedup = median ratio; ips = simulated "
+    "instructions / median wall seconds per engine"
+)
+
+
+def _placements(arguments):
+    """Pre-serialize arguments once so timed runs only memcpy."""
+    plan = []
+    for argument in arguments:
+        if isinstance(argument, np.ndarray):
+            plan.append(("array", np.ascontiguousarray(argument)))
+        else:
+            plan.append(("float", float(argument)))
+    return plan
+
+
+def _seeded_run(program, entry, plan, reference):
+    """One simulation on a fresh TCDM; returns (wall seconds, executed)."""
+    memory = TCDM()
+    int_args = {}
+    float_args = {}
+    next_int = next_float = 0
+    for kind, value in plan:
+        if kind == "array":
+            base = memory.allocate(value.nbytes)
+            memory.write_array(base, value)
+            int_args[f"a{next_int}"] = base
+            next_int += 1
+        else:
+            float_args[f"fa{next_float}"] = value
+            next_float += 1
+    machine = SnitchMachine(program, memory)
+    runner = machine.run_reference if reference else machine.run
+    start = time.perf_counter()
+    runner(entry, int_args=int_args, float_args=float_args)
+    wall = time.perf_counter() - start
+    return wall, machine._executed
+
+
+class _SingleKernel:
+    """A workload that simulates one compiled kernel."""
+
+    def __init__(self, name, kernel, pipeline, compiled, spec):
+        self.name = name
+        self.kernel = kernel
+        self.pipeline = pipeline
+        self.program = compiled.program
+        self.entry = compiled.entry
+        self.plan = _placements(spec.random_arguments(seed=0))
+
+    def simulate(self, reference):
+        return _seeded_run(
+            self.program, self.entry, self.plan, reference
+        )
+
+
+class _NetworkWorkload:
+    """A workload that simulates a whole network's kernel sequence."""
+
+    def __init__(self, name, layer_configs, pipeline):
+        self.name = name
+        self.kernel = f"{len(layer_configs)} layer kernels"
+        self.pipeline = pipeline
+        self.layers = [
+            (
+                compiled.program,
+                compiled.entry,
+                _placements(spec.random_arguments(seed=0)),
+            )
+            for compiled, spec in networks.compile_layers(
+                layer_configs, pipeline
+            )
+        ]
+
+    def simulate(self, reference):
+        wall = 0.0
+        executed = 0
+        for program, entry, plan in self.layers:
+            leg_wall, leg_executed = _seeded_run(
+                program, entry, plan, reference
+            )
+            wall += leg_wall
+            executed += leg_executed
+        return wall, executed
+
+
+def build_workloads(smoke: bool):
+    if smoke:
+        module, spec = kernels.matmul(1, 8, 8)
+        compiled = api.compile_linalg(module, pipeline="ours")
+        return [
+            _SingleKernel(
+                "frep_ssr_gemm", "matmul(1, 8, 8)", "ours",
+                compiled, spec,
+            )
+        ]
+    workloads = []
+    module, spec = kernels.matmul(1, 16, 16)
+    workloads.append(
+        _SingleKernel(
+            "scalar_loop", "matmul(1, 16, 16)", "table3-baseline",
+            api.compile_linalg(module, pipeline="table3-baseline"), spec,
+        )
+    )
+    module, spec = kernels.matmul(1, 48, 48)
+    workloads.append(
+        _SingleKernel(
+            "frep_ssr_gemm", "matmul(1, 48, 48)", "ours",
+            api.compile_linalg(module, pipeline="ours"), spec,
+        )
+    )
+    module, spec = lowlevel.lowlevel_matmul_t_f32(64, 40)
+    workloads.append(
+        _SingleKernel(
+            "packed_simd", "lowlevel_matmul_t_f32(64, 40)", "lowlevel",
+            api.compile_lowlevel(module, spec.name), spec,
+        )
+    )
+    workloads.append(
+        _NetworkWorkload(
+            "full_network", networks.nsnet2_layers(), "ours"
+        )
+    )
+    return workloads
+
+
+def measure(workload, rounds: int) -> dict:
+    # Untimed warm-up: populates the decode cache (decode is a
+    # once-per-program cost, amortized in real use) and touches
+    # both paths once.
+    workload.simulate(reference=False)
+    _, instructions = workload.simulate(reference=True)
+    ratios = []
+    fast_walls = []
+    ref_walls = []
+    for _ in range(rounds):
+        fast_a, _ = workload.simulate(reference=False)
+        ref_a, _ = workload.simulate(reference=True)
+        ref_b, _ = workload.simulate(reference=True)
+        fast_b, _ = workload.simulate(reference=False)
+        fast = fast_a + fast_b
+        ref = ref_a + ref_b
+        fast_walls.append(fast / 2)
+        ref_walls.append(ref / 2)
+        ratios.append(ref / fast)
+    fast_wall = statistics.median(fast_walls)
+    ref_wall = statistics.median(ref_walls)
+    return {
+        "kernel": workload.kernel,
+        "pipeline": workload.pipeline,
+        "instructions": instructions,
+        "ref_ips": round(instructions / ref_wall, 1),
+        "fast_ips": round(instructions / fast_wall, 1),
+        "paired_ratios": [round(r, 2) for r in ratios],
+        "speedup": round(statistics.median(ratios), 2),
+    }
+
+
+def main() -> dict:
+    smoke = bool(os.environ.get("BENCH_SIM_SMOKE"))
+    rounds = 1 if smoke else ROUNDS
+    results = {
+        "schema": 1,
+        "protocol": PROTOCOL.format(rounds=rounds),
+        "smoke": smoke,
+        "workloads": {},
+    }
+    for workload in build_workloads(smoke):
+        point = measure(workload, rounds)
+        results["workloads"][workload.name] = point
+        print(
+            f"{workload.name:<14} {point['instructions']:>8} inst  "
+            f"ref {point['ref_ips']:>10.0f} i/s  "
+            f"fast {point['fast_ips']:>10.0f} i/s  "
+            f"speedup {point['speedup']:.2f}x"
+        )
+    headline = results["workloads"]["frep_ssr_gemm"]
+    results["headline"] = {
+        "workload": "frep_ssr_gemm",
+        "ref_ips": headline["ref_ips"],
+        "fast_ips": headline["fast_ips"],
+        "speedup": headline["speedup"],
+    }
+    path = os.path.abspath(RESULTS_PATH)
+    with open(path, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {path}")
+    return results
+
+
+if __name__ == "__main__":
+    main()

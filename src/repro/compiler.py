@@ -25,6 +25,7 @@ same spec strings on ``--pipeline``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Sequence
 
 from .backend.asm_emitter import emit_module
@@ -61,9 +62,15 @@ class CompiledKernel:
         default_factory=list
     )
 
-    @property
+    @cached_property
     def program(self) -> Program:
-        """The assembled program (parsed once per access)."""
+        """The assembled program (parsed once, then cached).
+
+        Returning one ``Program`` object per kernel matters beyond the
+        parse cost: the simulator's predecoded engine memoizes its
+        decode on the ``Program``, so every run and every cluster core
+        executing this kernel shares a single decode.
+        """
         return assemble(self.asm)
 
     def register_usage(self) -> tuple[int, int]:

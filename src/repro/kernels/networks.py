@@ -137,6 +137,30 @@ def alexnet_layers(tile: int = 12) -> list[LayerConfig]:
     ]
 
 
+def compile_layers(
+    layers: list[LayerConfig], pipeline: str = "ours"
+) -> list[tuple]:
+    """Compile every layer kernel, one compile per distinct config.
+
+    Networks repeat activation and FC shapes; layers with the same
+    builder and sizes share one ``(compiled, spec)`` pair — and
+    therefore one decoded program in the simulator's predecoded
+    engine.  Returns the pairs in layer order.
+    """
+    cache: dict[tuple, tuple] = {}
+    pairs = []
+    for layer in layers:
+        key = (layer.builder, layer.sizes)
+        cached = cache.get(key)
+        if cached is None:
+            module, spec = layer.build()
+            compiled = api.compile_linalg(module, pipeline=pipeline)
+            cached = (compiled, spec)
+            cache[key] = cached
+        pairs.append(cached)
+    return pairs
+
+
 def run_network(
     name: str,
     layers: list[LayerConfig],
@@ -148,11 +172,15 @@ def run_network(
 
     ``pipeline`` is a named pipeline or any textual pipeline spec
     (forwarded to :func:`repro.api.compile_linalg`).
+
+    Kernels come from :func:`compile_layers`, so repeated layer shapes
+    share one compiled kernel and one decoded program; each invocation
+    still simulates on fresh TCDM contents.
     """
     results = []
-    for layer in layers:
-        module, spec = layer.build()
-        compiled = api.compile_linalg(module, pipeline=pipeline)
+    for layer, (compiled, spec) in zip(
+        layers, compile_layers(layers, pipeline)
+    ):
         arguments = spec.random_arguments(seed=seed)
         run = api.run_kernel(compiled, arguments)
         if validate:
@@ -182,5 +210,6 @@ __all__ = [
     "NetworkResult",
     "nsnet2_layers",
     "alexnet_layers",
+    "compile_layers",
     "run_network",
 ]

@@ -12,6 +12,7 @@ exposed through :class:`repro.snitch.trace.ExecutionTrace`.
 
 from .assembler import AssemblerError, Program, assemble
 from .cluster import ClusterRun, CoreRun, partition_rows, run_row_partitioned
+from .engine import DecodedProgram, decode
 from .machine import SnitchMachine, SimulationError
 from .memory import TCDM
 from .trace import ExecutionTrace
@@ -20,6 +21,8 @@ __all__ = [
     "AssemblerError",
     "Program",
     "assemble",
+    "DecodedProgram",
+    "decode",
     "SnitchMachine",
     "SimulationError",
     "TCDM",

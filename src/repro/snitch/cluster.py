@@ -19,7 +19,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .assembler import assemble
 from .machine import SnitchMachine
 from .memory import TCDM
 from .trace import ExecutionTrace
@@ -117,10 +116,19 @@ def run_row_partitioned(
             placements.append(None)
 
     core_runs = []
+    # Balanced partitions give most cores identical row counts, hence
+    # identical kernels: compile once per distinct shape and share the
+    # assembled Program across cores, so the simulator's predecoded
+    # engine decodes it once for the whole cluster.
+    compiled_by_shape: dict[tuple[int, int], object] = {}
     for core, (start, stop) in enumerate(chunks):
-        module, spec = kernel_builder(stop - start, cols)
-        compiled = compile_fn(module, spec)
-        machine = SnitchMachine(assemble(compiled.asm), memory)
+        shape_key = (stop - start, cols)
+        compiled = compiled_by_shape.get(shape_key)
+        if compiled is None:
+            module, spec = kernel_builder(*shape_key)
+            compiled = compile_fn(module, spec)
+            compiled_by_shape[shape_key] = compiled
+        machine = SnitchMachine(compiled.program, memory)
         int_args: dict[str, int] = {}
         float_args: dict[str, float] = {}
         next_int = 0

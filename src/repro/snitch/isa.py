@@ -32,6 +32,13 @@ class Inst:
     frep_length: int | None = None
     #: Source line (debugging aid for traces).
     text: str = ""
+    #: Execution-unit class (see :func:`classify`), resolved once at
+    #: construction so the predecoding engine never re-derives it.
+    kind: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.kind:
+            self.kind = classify(self.mnemonic)
 
     def __str__(self) -> str:
         return self.text or self.mnemonic
@@ -81,6 +88,31 @@ JUMPS = {"j", "ret"}
 
 #: Snitch stream configuration.
 STREAM_CONFIG = {"scfgwi", "csrsi", "csrci"}
+
+
+#: Values of :attr:`Inst.kind` — the execution-unit classes the cycle
+#: model distinguishes.
+KIND_INT = "int"
+KIND_FPU = "fpu"
+KIND_BRANCH = "branch"
+KIND_JUMP = "jump"
+KIND_RET = "ret"
+KIND_FREP = "frep"
+
+
+def classify(mnemonic: str) -> str:
+    """Execution-unit class of a mnemonic (decode metadata)."""
+    if mnemonic in FPU_INSTRUCTIONS:
+        return KIND_FPU
+    if mnemonic in BRANCHES:
+        return KIND_BRANCH
+    if mnemonic == "j":
+        return KIND_JUMP
+    if mnemonic == "ret":
+        return KIND_RET
+    if mnemonic == "frep.o":
+        return KIND_FREP
+    return KIND_INT
 
 
 def is_fp_register(name: str) -> bool:
@@ -139,6 +171,13 @@ __all__ = [
     "BRANCHES",
     "JUMPS",
     "STREAM_CONFIG",
+    "classify",
+    "KIND_INT",
+    "KIND_FPU",
+    "KIND_BRANCH",
+    "KIND_JUMP",
+    "KIND_RET",
+    "KIND_FREP",
     "is_fp_register",
     "SSR_MAX_DIMS",
     "SSR_COUNT",

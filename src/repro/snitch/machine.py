@@ -24,6 +24,14 @@ synchronize at stream disables and at data dependencies, which is what
 produces the utilization behaviours the paper measures: explicit
 loads/stores and loop control throttle the FPU in the baselines, while
 SSR+FREP code approaches one FP instruction per cycle.
+
+Execution is split decode/execute: :meth:`SnitchMachine.run` drives the
+predecoded closure engine in :mod:`repro.snitch.engine` (decode once
+per program, specialized closures, FREP replayed as a macro-op), while
+:meth:`SnitchMachine.run_reference` keeps this module's original
+decode-as-you-go interpreter as the semantic oracle.  The two are
+bit-exact: cycles, every trace counter, timelines, and memory contents
+are asserted identical by the differential test suite.
 """
 
 from __future__ import annotations
@@ -266,6 +274,34 @@ class SnitchMachine:
 
         ``int_args`` seeds integer registers (``{"a0": pointer}``);
         ``float_args`` seeds FP registers with doubles.
+
+        Executes on the predecoded closure engine
+        (:mod:`repro.snitch.engine`) — the program is decoded once
+        (cached across machines and runs) and replayed as specialized
+        closures.  Bit-exact with :meth:`run_reference`, which the
+        differential test suite asserts.
+        """
+        from .engine import execute
+
+        for name, value in (int_args or {}).items():
+            self.write_int(name, value)
+        for name, value in (float_args or {}).items():
+            self.write_float_bits(name, f64_to_bits(value))
+        execute(self, entry)
+        self.trace.cycles = max(self.int_time, self.fpu_time)
+        return self.trace
+
+    def run_reference(
+        self,
+        entry: str,
+        int_args: dict[str, int] | None = None,
+        float_args: dict[str, float] | None = None,
+    ) -> ExecutionTrace:
+        """The original per-instruction interpreter (decode-as-you-go).
+
+        Kept as the semantic oracle for :meth:`run` — differential
+        tests execute randomized and paper programs on both engines and
+        assert identical cycles, counters, timelines, and memory.
         """
         for name, value in (int_args or {}).items():
             self.write_int(name, value)
@@ -577,12 +613,14 @@ class SnitchMachine:
             for j, binst in enumerate(body):
                 self.trace.record(binst.mnemonic)
                 self._executed += 1
+                if self._executed > self.max_instructions:
+                    # Checked inside the loop: a runaway trip count must
+                    # raise, not replay to completion first.
+                    raise SimulationError(
+                        "instruction budget exceeded inside frep"
+                    )
                 dispatch = dispatch_times[j] if iteration == 0 else 0
                 self._exec_fpu(binst, dispatch)
-        if self._executed > self.max_instructions:
-            raise SimulationError(
-                "instruction budget exceeded inside frep"
-            )
 
 
 def format_timeline(

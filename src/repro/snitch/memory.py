@@ -18,9 +18,30 @@ import numpy as np
 #: Default TCDM capacity (128 KiB, as in the Snitch cluster).
 TCDM_SIZE = 128 * 1024
 
+# Prebound struct codecs: one Struct per width, compiled once, so the
+# typed accessors below (and the execution engine, which binds these
+# directly into its decoded closures) skip the per-call format parse of
+# ``struct.pack_into``/``unpack_from``.
+U32 = struct.Struct("<I")
+U64 = struct.Struct("<Q")
+F32 = struct.Struct("<f")
+F64 = struct.Struct("<d")
+
 
 class TCDMError(Exception):
     """Raised on out-of-bounds or exhausted-capacity accesses."""
+
+
+def out_of_bounds(address: int, width: int) -> TCDMError:
+    """The out-of-bounds error, in one place.
+
+    Both :meth:`TCDM._check` and the execution engine's inlined bounds
+    checks raise through this, so the differential contract (identical
+    error messages from both engines) cannot drift.
+    """
+    return TCDMError(
+        f"access of {width} bytes at {address:#x} outside TCDM"
+    )
 
 
 class TCDM:
@@ -52,9 +73,7 @@ class TCDM:
 
     def _check(self, address: int, width: int) -> None:
         if address < 0 or address + width > self.size:
-            raise TCDMError(
-                f"access of {width} bytes at {address:#x} outside TCDM"
-            )
+            raise out_of_bounds(address, width)
 
     def load_bytes(self, address: int, width: int) -> bytes:
         """Read ``width`` raw bytes."""
@@ -70,44 +89,43 @@ class TCDM:
 
     def load_u32(self, address: int) -> int:
         """Read a 32-bit unsigned integer."""
-        return struct.unpack_from("<I", self.data, address)[0]
+        self._check(address, 4)
+        return U32.unpack_from(self.data, address)[0]
 
     def store_u32(self, address: int, value: int) -> None:
         """Write a 32-bit unsigned integer."""
         self._check(address, 4)
-        struct.pack_into("<I", self.data, address, value & 0xFFFFFFFF)
+        U32.pack_into(self.data, address, value & 0xFFFFFFFF)
 
     def load_u64(self, address: int) -> int:
         """Read a 64-bit unsigned integer (one FP register's bits)."""
         self._check(address, 8)
-        return struct.unpack_from("<Q", self.data, address)[0]
+        return U64.unpack_from(self.data, address)[0]
 
     def store_u64(self, address: int, value: int) -> None:
         """Write a 64-bit unsigned integer."""
         self._check(address, 8)
-        struct.pack_into(
-            "<Q", self.data, address, value & 0xFFFFFFFFFFFFFFFF
-        )
+        U64.pack_into(self.data, address, value & 0xFFFFFFFFFFFFFFFF)
 
     def load_f64(self, address: int) -> float:
         """Read an IEEE double."""
         self._check(address, 8)
-        return struct.unpack_from("<d", self.data, address)[0]
+        return F64.unpack_from(self.data, address)[0]
 
     def store_f64(self, address: int, value: float) -> None:
         """Write an IEEE double."""
         self._check(address, 8)
-        struct.pack_into("<d", self.data, address, value)
+        F64.pack_into(self.data, address, value)
 
     def load_f32(self, address: int) -> float:
         """Read an IEEE single."""
         self._check(address, 4)
-        return struct.unpack_from("<f", self.data, address)[0]
+        return F32.unpack_from(self.data, address)[0]
 
     def store_f32(self, address: int, value: float) -> None:
         """Write an IEEE single."""
         self._check(address, 4)
-        struct.pack_into("<f", self.data, address, np.float32(value))
+        F32.pack_into(self.data, address, np.float32(value))
 
     # -- numpy bridging ---------------------------------------------------------------------
 
@@ -126,4 +144,4 @@ class TCDM:
         return np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
 
 
-__all__ = ["TCDM", "TCDMError", "TCDM_SIZE"]
+__all__ = ["TCDM", "TCDMError", "TCDM_SIZE", "out_of_bounds"]

@@ -54,6 +54,19 @@ class TestTypedAccess:
         with pytest.raises(TCDMError):
             mem.store_f64(-8, 0.0)
 
+    def test_load_u32_straddling_end_raises(self):
+        """Regression: ``load_u32`` was the one typed accessor without a
+        bounds check — a 4-byte read straddling the end of the TCDM
+        silently returned truncated data instead of raising."""
+        mem = TCDM(size=32)
+        with pytest.raises(TCDMError):
+            mem.load_u32(30)
+        with pytest.raises(TCDMError):
+            mem.load_u32(32)
+        with pytest.raises(TCDMError):
+            mem.load_u32(-4)
+        assert mem.load_u32(28) == 0
+
 
 class TestNumpyBridge:
     def test_array_roundtrip_2d(self):

@@ -9,10 +9,13 @@ numbers but sit far below the fixpoint re-walk driver's (which visited
 whole-module rescans trips them immediately.
 """
 
+import numpy as np
 import pytest
 
-from repro import kernels
+from repro import api, kernels
 from repro.compiler import Compiler
+from repro.snitch.cluster import run_row_partitioned
+from repro.snitch.engine import DECODE_STATS
 
 #: Counter ceilings for matmul(1, 8, 8); the worklist driver uses
 #: ~14/14/10 and the old fixpoint driver used ~220 invocations.
@@ -42,6 +45,39 @@ def test_driver_counters_within_budget(pipeline):
             f"budget of {budget}; the pattern driver regressed toward "
             "whole-module rescans"
         )
+
+
+@pytest.mark.perf_smoke
+def test_simulator_decodes_once_per_program():
+    """The predecoded engine's decode must run once per program — not
+    once per run: repeated runs of one compiled kernel share a decode."""
+    module, spec = kernels.matmul(1, 8, 8)
+    compiled = Compiler("ours").compile(module)
+    arguments = spec.random_arguments(seed=0)
+    before = DECODE_STATS["programs_decoded"]
+    for _ in range(3):
+        api.run_kernel(compiled, arguments)
+    assert DECODE_STATS["programs_decoded"] == before + 1
+
+
+@pytest.mark.perf_smoke
+def test_simulator_decodes_once_per_cluster():
+    """...and not once per core: equal-shape cluster cores share both
+    the compiled kernel and its decoded program."""
+    rng = np.random.default_rng(0)
+    x = rng.uniform(-1, 1, (8, 6))
+    y = rng.uniform(-1, 1, (8, 6))
+    z = np.zeros((8, 6))
+    before = DECODE_STATS["programs_decoded"]
+    run_row_partitioned(
+        kernels.sum_kernel,
+        lambda module, spec: api.compile_linalg(module, pipeline="ours"),
+        (8, 6),
+        4,
+        [x, y, z],
+        row_parallel_args=[0, 1, 2],
+    )
+    assert DECODE_STATS["programs_decoded"] == before + 1
 
 
 @pytest.mark.perf_smoke
