@@ -1,0 +1,332 @@
+"""Schedule-space autotuning benchmark: default vs. tuned cycles.
+
+Runs the cycle-oracle tuner (``repro.tune``) over
+
+* the Table 1 paper kernels at representative shapes,
+* every distinct NSNet2 and AlexNet layer shape (the paper's two
+  network kernel mixes), plus whole-network totals with the tuned
+  per-layer schedules applied,
+* a Figure 11 MatMul sweep subset (M = 1, N/K grid) — the shape
+  family whose default unroll heuristic leaves cycles on the table,
+
+and records default/tuned cycles, the winning config, candidates
+evaluated, and persistent-cache traffic per entry.  Every winning
+schedule is additionally re-run on the *reference* interpreter and
+must match the predecoded engine bit-for-bit (cycles and memory) —
+the tuner's oracle is only trusted because the differential suite
+backs it.
+
+Invariants asserted here (and validated by CI on the smoke profile):
+
+* tuned cycles <= default cycles for every entry (the default is
+  always measured, so search can only improve);
+* in the full profile, at least one Fig. 11 sweep point improves
+  *strictly*.
+
+Run as a script to (re)generate ``results/BENCH_tuning.json``::
+
+    PYTHONPATH=src python benchmarks/bench_tuning.py
+
+With ``BENCH_TUNE_SMOKE=1`` only a tiny exhaustive search (4x4 MatMul
++ ReLU) runs under a fixed candidate budget — CI uses that twice to
+validate the schema and prove the persistent cache makes the second
+run incremental.
+
+JSON schema (``schema`` = 1)::
+
+    {
+      "schema": 1, "smoke": false, "seed": 0,
+      "strategy": "exhaustive", "engine_version": 1,
+      "candidate_budget": <smoke cap or null>,
+      "entries": [
+        {"group": "paper" | "nsnet2" | "alexnet" | "fig11",
+         "kernel": "...", "sizes": [..],
+         "default_cycles": .., "tuned_cycles": .., "speedup": ..,
+         "config": {"permutation": .., "unroll_factor": ..,
+                    "num_cores": ..},
+         "pipeline_spec": "...",
+         "candidates_evaluated": .., "cache_hits": ..,
+         "cache_misses": .., "differential_ok": true}
+      ],
+      "networks": {"<name>": {"default_cycles": ..,
+                              "tuned_cycles": ..}},
+      "summary": {"entries": .., "improved": ..,
+                  "fig11_strictly_improved": <bool>,
+                  "candidates_evaluated": .., "cache_hits": ..,
+                  "cache_misses": ..}
+    }
+"""
+
+import json
+import os
+import sys
+
+import numpy as np
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(__file__), "..", "src")
+)
+
+from repro.compiler import Compiler  # noqa: E402
+from repro.kernels import KERNEL_BUILDERS, networks  # noqa: E402
+from repro.snitch.engine import ENGINE_VERSION  # noqa: E402
+from repro.snitch.machine import SnitchMachine  # noqa: E402
+from repro.snitch.memory import TCDM  # noqa: E402
+from repro.tune import (  # noqa: E402
+    TuneCache,
+    schedule_table,
+    tune_kernel,
+)
+from repro.tune.schedule import resolve_kernel  # noqa: E402
+
+RESULTS_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "results", "BENCH_tuning.json"
+)
+CACHE_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "results", "tune_cache.json"
+)
+
+#: Tuning-run seed: fixes input data and any random sampling; recorded
+#: in the results so the run is reproducible.
+SEED = 0
+
+#: Smoke profile: candidate cap for the tiny exhaustive search.
+SMOKE_BUDGET = 16
+
+#: Table 1 kernels at representative (TCDM-friendly) shapes.
+PAPER_KERNELS = (
+    ("fill", (8, 16)),
+    ("sum", (8, 16)),
+    ("relu", (8, 16)),
+    ("conv3x3", (8, 8)),
+    ("max_pool3x3", (8, 8)),
+    ("sum_pool3x3", (8, 8)),
+    ("matmul", (4, 8, 8)),
+    ("matmul_t", (4, 8, 8)),
+    ("matvec", (8, 16)),
+)
+
+#: Figure 11 sweep subset: C[1xN] = A[1xK] B[KxN].
+FIG11_GRID = (16, 32, 48, 64)
+
+#: Builder function name -> tuner kernel name.
+_BUILDER_TO_KERNEL = {
+    builder.__name__: name
+    for name, (builder, _arity) in KERNEL_BUILDERS.items()
+}
+
+
+def differential_check(schedule, seed: int) -> bool:
+    """Winning schedule on both engines: identical cycles + memory.
+
+    This is the per-result version of the differential suite: the
+    predecoded engine (the tuner's oracle) and the reference
+    interpreter must agree on the tuned kernel, and the result must
+    match the numpy golden model.
+    """
+    builder, sizes = resolve_kernel(schedule.kernel, schedule.sizes)
+    module, kernel_spec = builder(*sizes)
+    compiled = Compiler(schedule.pipeline_spec).compile(module)
+    arguments = kernel_spec.random_arguments(seed=seed)
+    outputs = []
+    cycle_counts = []
+    for reference in (False, True):
+        memory = TCDM()
+        int_args, float_args = {}, {}
+        placements = []
+        next_int = next_float = 0
+        for argument in arguments:
+            if isinstance(argument, np.ndarray):
+                base = memory.allocate(argument.nbytes)
+                memory.write_array(base, argument)
+                int_args[f"a{next_int}"] = base
+                next_int += 1
+                placements.append((base, argument))
+            else:
+                float_args[f"fa{next_float}"] = float(argument)
+                next_float += 1
+                placements.append(None)
+        machine = SnitchMachine(compiled.program, memory)
+        runner = machine.run_reference if reference else machine.run
+        trace = runner(
+            compiled.entry, int_args=int_args, float_args=float_args
+        )
+        cycle_counts.append(trace.cycles)
+        arrays = []
+        for placement in placements:
+            if placement is None:
+                arrays.append(None)
+                continue
+            base, array = placement
+            arrays.append(
+                memory.read_array(base, array.shape, array.dtype)
+            )
+        outputs.append(arrays)
+    if cycle_counts[0] != cycle_counts[1]:
+        return False
+    if cycle_counts[0] != schedule.cycles and schedule.config.num_cores == 1:
+        return False
+    for fast, ref in zip(outputs[0], outputs[1]):
+        if fast is None:
+            continue
+        if not np.array_equal(fast, ref):
+            return False
+    expected = kernel_spec.reference(*arguments)
+    for got, want in zip(outputs[0], expected):
+        if want is not None and not np.allclose(got, want, atol=1e-8):
+            return False
+    return True
+
+
+def tune_entry(group, kernel, sizes, cache, budget=None):
+    """Tune one kernel shape and render its JSON entry."""
+    result = tune_kernel(
+        kernel,
+        sizes,
+        strategy="exhaustive",
+        budget=budget,
+        seed=SEED,
+        cache=cache,
+    )
+    best = result.best
+    ok = differential_check(best, SEED)
+    entry = {
+        "group": group,
+        "kernel": kernel,
+        "sizes": list(sizes),
+        "default_cycles": best.default_cycles,
+        "tuned_cycles": best.cycles,
+        "speedup": round(best.speedup, 4),
+        "config": best.config.to_json(),
+        "pipeline_spec": best.pipeline_spec,
+        "candidates_evaluated": result.candidates_evaluated,
+        "cache_hits": result.cache_hits,
+        "cache_misses": result.cache_misses,
+        "differential_ok": ok,
+    }
+    assert best.cycles <= best.default_cycles, entry
+    assert ok, f"differential mismatch for {kernel} {sizes}"
+    print(
+        f"{group:<8} {kernel:<12} {'x'.join(map(str, sizes)):<10} "
+        f"default {best.default_cycles:>6}  tuned {best.cycles:>6}  "
+        f"({best.speedup:.3f}x, {result.candidates_evaluated} cands, "
+        f"{result.cache_hits} cached)"
+    )
+    return entry, best
+
+
+def network_entries(cache):
+    """Distinct NSNet2/AlexNet layer shapes + whole-network totals."""
+    entries = []
+    tuned = []
+    nets = {
+        "nsnet2": networks.nsnet2_layers(),
+        "alexnet": networks.alexnet_layers(),
+    }
+    seen = set()
+    for net_name, layers in nets.items():
+        for layer in layers:
+            kernel = _BUILDER_TO_KERNEL[layer.builder.__name__]
+            key = (kernel, tuple(layer.sizes))
+            if key in seen:
+                continue
+            seen.add(key)
+            entry, best = tune_entry(
+                net_name, kernel, layer.sizes, cache
+            )
+            entries.append(entry)
+            tuned.append(best)
+    table = schedule_table(tuned)
+    totals = {}
+    for net_name, layers in nets.items():
+        default_run = networks.run_network(
+            net_name, layers, pipeline="ours", seed=SEED
+        )
+        tuned_run = networks.run_network(
+            net_name, layers, pipeline="ours", seed=SEED,
+            schedules=table,
+        )
+        assert tuned_run.total_cycles <= default_run.total_cycles
+        totals[net_name] = {
+            "default_cycles": default_run.total_cycles,
+            "tuned_cycles": tuned_run.total_cycles,
+        }
+        print(
+            f"network  {net_name:<12} default "
+            f"{default_run.total_cycles:>6}  tuned "
+            f"{tuned_run.total_cycles:>6}"
+        )
+    return entries, totals
+
+
+def main() -> dict:
+    smoke = bool(os.environ.get("BENCH_TUNE_SMOKE"))
+    cache = TuneCache(os.environ.get("BENCH_TUNE_CACHE", CACHE_PATH))
+    entries = []
+    networks_totals = {}
+    if smoke:
+        for kernel, sizes in (("matmul", (4, 4, 4)), ("relu", (4, 4))):
+            entry, _ = tune_entry(
+                "paper", kernel, sizes, cache, budget=SMOKE_BUDGET
+            )
+            assert entry["candidates_evaluated"] <= SMOKE_BUDGET
+            entries.append(entry)
+    else:
+        for kernel, sizes in PAPER_KERNELS:
+            entry, _ = tune_entry("paper", kernel, sizes, cache)
+            entries.append(entry)
+        net_entries, networks_totals = network_entries(cache)
+        entries.extend(net_entries)
+        for k in FIG11_GRID:
+            for n in FIG11_GRID:
+                entry, _ = tune_entry("fig11", "matmul", (1, k, n), cache)
+                entries.append(entry)
+    improved = sum(
+        1 for e in entries if e["tuned_cycles"] < e["default_cycles"]
+    )
+    fig11_strict = any(
+        e["tuned_cycles"] < e["default_cycles"]
+        for e in entries
+        if e["group"] == "fig11"
+    )
+    if not smoke:
+        assert fig11_strict, (
+            "no Fig. 11 sweep point improved strictly — the schedule "
+            "space lost its known wins"
+        )
+    results = {
+        "schema": 1,
+        "smoke": smoke,
+        "seed": SEED,
+        "strategy": "exhaustive",
+        "engine_version": ENGINE_VERSION,
+        "candidate_budget": SMOKE_BUDGET if smoke else None,
+        "entries": entries,
+        "networks": networks_totals,
+        "summary": {
+            "entries": len(entries),
+            "improved": improved,
+            "fig11_strictly_improved": fig11_strict,
+            "candidates_evaluated": sum(
+                e["candidates_evaluated"] for e in entries
+            ),
+            "cache_hits": sum(e["cache_hits"] for e in entries),
+            "cache_misses": sum(e["cache_misses"] for e in entries),
+        },
+    }
+    cache.save()
+    path = os.path.abspath(RESULTS_PATH)
+    with open(path, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {path}")
+    print(
+        f"{len(entries)} entries, {improved} improved, "
+        f"{results['summary']['cache_hits']} cache hits / "
+        f"{results['summary']['cache_misses']} misses"
+    )
+    return results
+
+
+if __name__ == "__main__":
+    main()

@@ -128,6 +128,21 @@ def expr_uses_dim(expr: AffineExpr, position: int) -> bool:
     return False
 
 
+def permute_map(amap: "AffineMap", permutation: Sequence[int]) -> "AffineMap":
+    """Rewrite a map for a permuted iteration space.
+
+    ``permutation[new]`` is the old dimension index that new dimension
+    ``new`` iterates, so every ``d_old`` in the map becomes ``d_new``.
+    Used by the linalg conversion (normalising to parallel-then-
+    reduction order) and by the interchange scheduling pass.
+    """
+    mapping = {
+        old: AffineDimExpr(new) for new, old in enumerate(permutation)
+    }
+    exprs = [substitute_dims(e, mapping) for e in amap.exprs]
+    return AffineMap(amap.num_dims, exprs)
+
+
 @dataclass(frozen=True)
 class AffineMap(Attribute):
     """A multi-dimensional affine map ``(d0, ..., dN-1) -> (e0, ..., eM-1)``.
@@ -266,6 +281,7 @@ __all__ = [
     "AffineConstantExpr",
     "AffineBinaryExpr",
     "AffineMap",
+    "permute_map",
     "substitute_dims",
     "expr_uses_dim",
 ]

@@ -10,6 +10,7 @@ and AlexNet layer mixes the paper draws them from.
 
 from . import networks
 from .builders import (
+    KERNEL_BUILDERS,
     KernelSpec,
     POOL_NEUTRAL_MIN,
     conv3x3,
@@ -30,6 +31,7 @@ from .lowlevel import (
 )
 
 __all__ = [
+    "KERNEL_BUILDERS",
     "KernelSpec",
     "fill",
     "sum_kernel",

@@ -424,10 +424,27 @@ def matvec(rows: int, cols: int) -> tuple[ModuleOp, KernelSpec]:
     return ModuleOp([fn]), spec
 
 
+#: Canonical kernel name -> (builder, number of size arguments): the
+#: Table 1 suite as one registry shared by the CLI tools and the
+#: schedule-space autotuner.
+KERNEL_BUILDERS = {
+    "fill": (fill, 2),
+    "sum": (sum_kernel, 2),
+    "relu": (relu, 2),
+    "conv3x3": (conv3x3, 2),
+    "max_pool3x3": (max_pool3x3, 2),
+    "sum_pool3x3": (sum_pool3x3, 2),
+    "matmul": (matmul, 3),
+    "matmul_t": (matmul_transposed, 3),
+    "matvec": (matvec, 2),
+}
+
+
 __all__ = [
     "ArrayArg",
     "ScalarArg",
     "KernelSpec",
+    "KERNEL_BUILDERS",
     "POOL_NEUTRAL_MIN",
     "fill",
     "sum_kernel",

@@ -15,7 +15,7 @@ get aggregate cycles and utilization for the network.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Mapping
 
 import numpy as np
 
@@ -37,6 +37,12 @@ class LayerConfig:
     def build(self):
         """(module, spec) for this layer's kernel."""
         return self.builder(*self.sizes)
+
+    @property
+    def schedule_key(self) -> tuple[str, tuple[int, ...]]:
+        """(builder name, sizes): the key tuned schedules match on
+        (see ``repro.tune.schedule_table``)."""
+        return self.builder.__name__, tuple(self.sizes)
 
 
 @dataclass
@@ -138,7 +144,9 @@ def alexnet_layers(tile: int = 12) -> list[LayerConfig]:
 
 
 def compile_layers(
-    layers: list[LayerConfig], pipeline: str = "ours"
+    layers: list[LayerConfig],
+    pipeline: str = "ours",
+    schedules: Mapping[tuple[str, tuple[int, ...]], str] | None = None,
 ) -> list[tuple]:
     """Compile every layer kernel, one compile per distinct config.
 
@@ -146,6 +154,12 @@ def compile_layers(
     builder and sizes share one ``(compiled, spec)`` pair — and
     therefore one decoded program in the simulator's predecoded
     engine.  Returns the pairs in layer order.
+
+    ``schedules`` maps a layer's ``schedule_key`` — (builder name,
+    sizes) — to a tuned pipeline spec, overriding ``pipeline`` for
+    that shape; build one with ``repro.tune.schedule_table`` from the
+    autotuner's :class:`~repro.tune.TunedSchedule` artifacts to run
+    the network with per-layer tuned schedules.
     """
     cache: dict[tuple, tuple] = {}
     pairs = []
@@ -154,7 +168,14 @@ def compile_layers(
         cached = cache.get(key)
         if cached is None:
             module, spec = layer.build()
-            compiled = api.compile_linalg(module, pipeline=pipeline)
+            layer_pipeline = pipeline
+            if schedules is not None:
+                layer_pipeline = schedules.get(
+                    layer.schedule_key, pipeline
+                )
+            compiled = api.compile_linalg(
+                module, pipeline=layer_pipeline
+            )
             cached = (compiled, spec)
             cache[key] = cached
         pairs.append(cached)
@@ -167,11 +188,14 @@ def run_network(
     pipeline: str = "ours",
     seed: int = 0,
     validate: bool = True,
+    schedules: Mapping[tuple[str, tuple[int, ...]], str] | None = None,
 ) -> NetworkResult:
     """Compile and simulate every layer kernel; aggregate the metrics.
 
     ``pipeline`` is a named pipeline or any textual pipeline spec
-    (forwarded to :func:`repro.api.compile_linalg`).
+    (forwarded to :func:`repro.api.compile_linalg`); ``schedules``
+    optionally overrides it per layer shape with tuned pipeline specs
+    (see :func:`compile_layers`).
 
     Kernels come from :func:`compile_layers`, so repeated layer shapes
     share one compiled kernel and one decoded program; each invocation
@@ -179,7 +203,7 @@ def run_network(
     """
     results = []
     for layer, (compiled, spec) in zip(
-        layers, compile_layers(layers, pipeline)
+        layers, compile_layers(layers, pipeline, schedules)
     ):
         arguments = spec.random_arguments(seed=seed)
         run = api.run_kernel(compiled, arguments)

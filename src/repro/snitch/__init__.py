@@ -12,7 +12,7 @@ exposed through :class:`repro.snitch.trace.ExecutionTrace`.
 
 from .assembler import AssemblerError, Program, assemble
 from .cluster import ClusterRun, CoreRun, partition_rows, run_row_partitioned
-from .engine import DecodedProgram, decode
+from .engine import ENGINE_VERSION, DecodedProgram, decode
 from .machine import SnitchMachine, SimulationError
 from .memory import TCDM
 from .trace import ExecutionTrace
@@ -22,6 +22,7 @@ __all__ = [
     "Program",
     "assemble",
     "DecodedProgram",
+    "ENGINE_VERSION",
     "decode",
     "SnitchMachine",
     "SimulationError",

@@ -65,16 +65,26 @@ class ClusterRun:
 
 
 def partition_rows(rows: int, num_cores: int) -> list[tuple[int, int]]:
-    """Split ``rows`` into contiguous, balanced [start, stop) chunks."""
+    """Split ``rows`` into contiguous, balanced [start, stop) chunks.
+
+    Only non-empty chunks are returned: with more cores than rows the
+    surplus cores simply receive no work (``rows == 0`` partitions to
+    no chunks at all), so callers never see degenerate ``(s, s)``
+    spans — a zero-row span would compile a 0-row kernel, which has no
+    meaningful stream patterns.
+    """
     if num_cores < 1:
         raise ValueError("need at least one core")
+    if rows < 0:
+        raise ValueError("row count must be non-negative")
     base = rows // num_cores
     extra = rows % num_cores
     chunks = []
     start = 0
     for core in range(num_cores):
         size = base + (1 if core < extra else 0)
-        chunks.append((start, start + size))
+        if size:
+            chunks.append((start, start + size))
         start += size
     return chunks
 
@@ -99,11 +109,7 @@ def run_row_partitioned(
     row-offset base pointers into it.
     """
     rows, cols = shape
-    chunks = [
-        chunk
-        for chunk in partition_rows(rows, num_cores)
-        if chunk[1] > chunk[0]
-    ]
+    chunks = partition_rows(rows, num_cores)
 
     memory = TCDM()
     placements: list[tuple[int, np.ndarray] | None] = []

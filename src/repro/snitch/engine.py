@@ -104,6 +104,12 @@ _compute_packed = SnitchMachine._compute_packed
 #: program, not once per core or per run.
 DECODE_STATS = {"programs_decoded": 0, "instructions_decoded": 0}
 
+#: Version of the engine's timing semantics.  The schedule-space
+#: autotuner persists measured cycle counts keyed on this value — bump
+#: it whenever a change alters *cycle counts* (not just throughput) so
+#: stale caches invalidate themselves instead of mis-ranking schedules.
+ENGINE_VERSION = 1
+
 
 def _u(name: str) -> int:
     index = _REG_INDEX.get(name)
@@ -1447,6 +1453,7 @@ def execute(machine: SnitchMachine, entry: str):
 
 __all__ = [
     "DECODE_STATS",
+    "ENGINE_VERSION",
     "DecodedProgram",
     "decode",
     "execute",

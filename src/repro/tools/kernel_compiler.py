@@ -31,18 +31,9 @@ from ..compiler import Compiler
 from ..ir.pass_manager import PrintIRInstrumentation
 from ..ir.pipeline_spec import PipelineSpecError
 
-#: Kernel name -> (builder, number of size arguments).
-KERNEL_BUILDERS = {
-    "fill": (kernels.fill, 2),
-    "sum": (kernels.sum_kernel, 2),
-    "relu": (kernels.relu, 2),
-    "conv3x3": (kernels.conv3x3, 2),
-    "max_pool3x3": (kernels.max_pool3x3, 2),
-    "sum_pool3x3": (kernels.sum_pool3x3, 2),
-    "matmul": (kernels.matmul, 3),
-    "matmul_t": (kernels.matmul_transposed, 3),
-    "matvec": (kernels.matvec, 2),
-}
+#: Kernel name -> (builder, number of size arguments) — the shared
+#: Table 1 registry (also used by the autotuner CLI).
+KERNEL_BUILDERS = kernels.KERNEL_BUILDERS
 
 
 def build_argument_parser() -> argparse.ArgumentParser:

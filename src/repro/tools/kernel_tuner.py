@@ -1,0 +1,194 @@
+"""Command-line schedule-space autotuner.
+
+Search the schedule space of a Table 1 kernel — interchange
+permutation, unroll-and-jam factor, cluster core count — scoring every
+candidate by cycles on the predecoded simulator::
+
+    python -m repro.tools.kernel_tuner matmul 4 4 4
+    python -m repro.tools.kernel_tuner matmul 1 16 64 --strategy greedy
+    python -m repro.tools.kernel_tuner conv3x3 8 8 --cores 1,2,4 \\
+        --strategy random --budget 12 --seed 3
+    python -m repro.tools.kernel_tuner matmul 1 16 64 --emit-spec
+
+``--emit-spec`` prints only the winning pipeline spec, ready to feed
+back into ``kernel_compiler --pipeline`` (or ``api.compile_linalg``);
+``--save`` persists the winning :class:`~repro.tune.TunedSchedule` as
+a JSON artifact that network runs can apply.  Measurements go through
+the persistent cycle cache (``--cache``), so re-tuning is incremental.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..kernels.builders import KERNEL_BUILDERS
+from ..tune import (
+    ScheduleError,
+    ScheduleSpace,
+    TuneCache,
+    load_schedules,
+    save_schedules,
+    tune_kernel,
+)
+from ..tune.search import STRATEGIES
+
+
+def build_argument_parser() -> argparse.ArgumentParser:
+    """The tool's CLI schema."""
+    parser = argparse.ArgumentParser(
+        prog="repro-kernel-tuner",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "kernel",
+        choices=sorted(KERNEL_BUILDERS),
+        help="kernel name (Table 1 suite)",
+    )
+    parser.add_argument(
+        "sizes", type=int, nargs="*", help="shape sizes (kernel-specific)"
+    )
+    parser.add_argument(
+        "--strategy",
+        choices=STRATEGIES,
+        default="exhaustive",
+        help="search strategy (default: exhaustive)",
+    )
+    parser.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="max candidates to score (default: unbounded)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="seed for input data and random sampling — recorded with "
+        "the results, so a tuning run is reproducible (default: 0)",
+    )
+    parser.add_argument(
+        "--cores",
+        default="1",
+        metavar="LIST",
+        help="comma-separated cluster core counts to explore "
+        "(default: 1)",
+    )
+    parser.add_argument(
+        "--cache",
+        default="results/tune_cache.json",
+        metavar="PATH",
+        help="persistent cycle-cache file "
+        "(default: results/tune_cache.json)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="do not read or write the persistent cache",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="evaluation worker processes; >1 forks a process pool "
+        "per batch, worth it for large kernels/budgets "
+        "(default: 1 = serial)",
+    )
+    parser.add_argument(
+        "--emit-spec",
+        action="store_true",
+        help="print only the winning pipeline spec",
+    )
+    parser.add_argument(
+        "--save",
+        metavar="PATH",
+        default=None,
+        help="append the winning TunedSchedule to a JSON artifact",
+    )
+    parser.add_argument(
+        "--list-space",
+        action="store_true",
+        help="print the legal schedule space and exit (no evaluation)",
+    )
+    return parser
+
+
+def _parse_cores(text: str) -> tuple[int, ...]:
+    try:
+        return tuple(int(part) for part in text.split(","))
+    except ValueError:
+        raise SystemExit(
+            f"bad --cores {text!r}: expected comma-separated integers"
+        )
+
+
+def main(argv=None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_argument_parser()
+    args = parser.parse_args(argv)
+    core_counts = _parse_cores(args.cores)
+    try:
+        if args.list_space:
+            space = ScheduleSpace.for_kernel(
+                args.kernel, args.sizes, core_counts
+            )
+            print(
+                f"{space.kernel}: bounds {list(space.bounds)}, "
+                f"iterators {list(space.iterator_types)}, "
+                f"{space.size()} legal configs"
+            )
+            for config in space.configs():
+                print(f"  {config.key()}")
+            return 0
+        cache = TuneCache(None if args.no_cache else args.cache)
+        result = tune_kernel(
+            args.kernel,
+            args.sizes,
+            strategy=args.strategy,
+            budget=args.budget,
+            seed=args.seed,
+            cache=cache,
+            workers=args.workers,
+            core_counts=core_counts,
+        )
+    except ScheduleError as error:
+        raise SystemExit(f"tuning failed: {error}")
+    if args.emit_spec:
+        print(result.best.pipeline_spec)
+        if result.best.config.num_cores != 1:
+            print(
+                f"note: best cycles ({result.best.cycles}) were "
+                f"measured on {result.best.config.num_cores} cores; "
+                "the emitted spec reproduces the single-core "
+                "schedule only",
+                file=sys.stderr,
+            )
+    else:
+        print(result.report())
+        print(
+            f"cache: {result.cache_hits} hits, "
+            f"{result.cache_misses} misses"
+            + ("" if args.no_cache else f" ({args.cache})")
+        )
+    if args.save:
+        try:
+            existing = load_schedules(args.save)
+        except ScheduleError:
+            existing = []
+        keep = [
+            schedule
+            for schedule in existing
+            if (schedule.kernel, schedule.sizes)
+            != (result.best.kernel, result.best.sizes)
+        ]
+        save_schedules(args.save, keep + [result.best])
+        if not args.emit_spec:
+            print(f"saved tuned schedule to {args.save}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,7 +9,7 @@ scheduling passes can assume reductions are innermost.
 from __future__ import annotations
 
 from ..dialects import linalg, memref_stream
-from ..ir.affine_map import AffineDimExpr, AffineMap, substitute_dims
+from ..ir.affine_map import AffineMap, permute_map
 from ..ir.core import Block, Operation, Region
 from ..ir.pass_manager import ModulePass
 from ..ir.rewriter import PatternRewriter, TypedPattern, apply_patterns
@@ -26,16 +26,6 @@ def _permutation_to_canonical(iterator_types: list[str]) -> list[int]:
     return parallels + reductions
 
 
-def _permute_map(amap: AffineMap, perm: list[int]) -> AffineMap:
-    """Rewrite a map for the permuted iteration space."""
-    # new dim j corresponds to old dim perm[j]; substitute old -> new.
-    mapping = {
-        old: AffineDimExpr(new) for new, old in enumerate(perm)
-    }
-    exprs = [substitute_dims(e, mapping) for e in amap.exprs]
-    return AffineMap(amap.num_dims, exprs)
-
-
 class _ConvertGeneric(TypedPattern):
     """linalg.generic -> memref_stream.generic with explicit bounds."""
 
@@ -47,7 +37,7 @@ class _ConvertGeneric(TypedPattern):
         perm = _permutation_to_canonical(iterator_types)
         new_bounds = [bounds[i] for i in perm]
         new_kinds = [iterator_types[i] for i in perm]
-        new_maps = [_permute_map(m, perm) for m in op.indexing_maps]
+        new_maps = [permute_map(m, perm) for m in op.indexing_maps]
         body = op.regions[0]
         op.regions.remove(body)
         body.parent = None

@@ -104,6 +104,40 @@ NAMED_PIPELINES: dict[str, str] = {
 }
 
 
+def scheduled_pipeline_spec(
+    permutation: str | None = None,
+    unroll_factor: int | None = None,
+    unroll_dim: int | None = None,
+    use_frep: bool = True,
+) -> str:
+    """The ``ours`` flow with explicit schedule choices as pass options.
+
+    This is how a tuned schedule round-trips as a plain pipeline-spec
+    string: interchange permutation (``"1-0-2"`` form, None = keep the
+    canonical order), unroll-and-jam factor/dim (None = the paper's
+    automatic heuristics).  ``scheduled_pipeline_spec()`` with no
+    arguments is exactly :data:`NAMED_PIPELINES`\\ ["ours"]'s flow.
+    """
+    stages = [_FRONT, "fuse-fill"]
+    if permutation:
+        stages.append(f"interchange{{permutation={permutation}}}")
+    stages.append("scalar-replacement")
+    options = []
+    if unroll_factor is not None:
+        options.append(f"factor={unroll_factor}")
+    if unroll_dim is not None:
+        options.append(f"dim={unroll_dim}")
+    stages.append(
+        f"unroll-and-jam{{{' '.join(options)}}}" if options
+        else "unroll-and-jam"
+    )
+    stages.append(
+        "lower-to-snitch" if use_frep else "lower-to-snitch{use-frep=false}"
+    )
+    stages.append(_SNITCH_BACKEND)
+    return ",".join(stages)
+
+
 def expand_pipeline(pipeline: str) -> str:
     """Resolve a pipeline name to its spec (specs pass through)."""
     if pipeline in NAMED_PIPELINES:
@@ -193,4 +227,5 @@ __all__ = [
     "TABLE3_STAGES",
     "build_pipeline",
     "expand_pipeline",
+    "scheduled_pipeline_spec",
 ]

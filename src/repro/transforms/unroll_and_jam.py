@@ -32,12 +32,37 @@ MIN_FACTOR = 4
 MAX_FACTOR = 8
 
 
+#: Explicit no-unroll fallback of :func:`select_unroll_factor`.
+NO_UNROLL = 1
+
+
+def legal_unroll_factors(bound: int) -> list[int]:
+    """Every factor the pass can legally apply to a dimension bound.
+
+    The pass has no remainder loop, so a factor must divide the bound
+    exactly; register pressure caps it at :data:`MAX_FACTOR`.  This is
+    the legality model the schedule-space autotuner enumerates.
+    """
+    return [
+        factor
+        for factor in range(2, MAX_FACTOR + 1)
+        if bound % factor == 0
+    ]
+
+
 def select_unroll_factor(bound: int) -> int:
     """The paper's automatic factor selection for a dimension bound.
 
     Prefer the smallest divisor of ``bound`` that is at least
     :data:`MIN_FACTOR` (four hides the FPU pipeline); fully unroll tiny
-    dims; fall back to a smaller divisor (partial stall) or 1.
+    dims; fall back to a smaller divisor (partial stall).
+
+    A bound with no divisor in ``[2, MAX_FACTOR]`` — any prime larger
+    than :data:`MAX_FACTOR`, e.g. 11 or 13 — cannot be interleaved
+    without a remainder loop, which the pass does not generate.  The
+    selection then returns :data:`NO_UNROLL` (1) and the op is left
+    untouched; the tuner's legality model
+    (:func:`legal_unroll_factors`) relies on exactly this contract.
     """
     if bound <= MIN_FACTOR:
         return bound
@@ -47,16 +72,20 @@ def select_unroll_factor(bound: int) -> int:
     for factor in (3, 2):
         if bound % factor == 0:
             return factor
-    return 1
+    # Explicit fallback: divisor-free bound (prime > MAX_FACTOR).
+    return NO_UNROLL
 
 
-def select_unroll_dim(op: memref_stream.GenericOp) -> int | None:
-    """The parallel dim to interleave: the innermost parallel dim on
-    which every output varies (so the interleaved accumulators are
-    independent)."""
+def unroll_dim_candidates(op: memref_stream.GenericOp) -> list[int]:
+    """Parallel dims on which every output varies, outermost first.
+
+    Only these dims yield independent interleaved accumulators; the
+    automatic selection takes the innermost, the ``dim`` pass option
+    (and the autotuner) may pick any of them.
+    """
     out_maps = op.indexing_maps[len(op.inputs) :]
-    num_par = len(op.parallel_dims)
-    for dim in reversed(op.parallel_dims):
+    candidates = []
+    for dim in op.parallel_dims:
         # Output maps are over the compressed parallel space after
         # scalar replacement; translate the dim index.
         out_dim = op.parallel_dims.index(dim)
@@ -65,8 +94,16 @@ def select_unroll_dim(op: memref_stream.GenericOp) -> int | None:
             for amap in out_maps
         )
         if varies:
-            return dim
-    return None
+            candidates.append(dim)
+    return candidates
+
+
+def select_unroll_dim(op: memref_stream.GenericOp) -> int | None:
+    """The parallel dim to interleave: the innermost parallel dim on
+    which every output varies (so the interleaved accumulators are
+    independent)."""
+    candidates = unroll_dim_candidates(op)
+    return candidates[-1] if candidates else None
 
 
 class _UnrollAndJamPattern(TypedPattern):
@@ -194,16 +231,28 @@ def _clone_op(
 
 
 class UnrollAndJamPass(ModulePass):
-    """Interleave reductions to hide the FPU pipeline latency."""
+    """Interleave reductions to hide the FPU pipeline latency.
+
+    Both schedule choices are typed pass options, spec-expressible as
+    ``unroll-and-jam{factor=4 dim=1}``; either defaults to the paper's
+    automatic heuristic (:func:`select_unroll_factor` /
+    :func:`select_unroll_dim`) when omitted.  An op whose bounds make
+    the requested (dim, factor) illegal — the dim not output-varying,
+    or the factor not dividing the bound — is left untouched, so a
+    mis-sized explicit schedule degrades to the un-unrolled kernel
+    instead of mis-compiling.
+    """
 
     name = "unroll-and-jam"
 
-    def __init__(self, factor: int | None = None):
+    def __init__(self, factor: int | None = None, dim: int | None = None):
         #: Optional fixed factor (None = automatic selection).
         self.factor = factor
+        #: Optional fixed dim to interleave (None = innermost varying).
+        self.dim = dim
 
     def run(self, module: Operation) -> None:
-        if self.factor is None:
+        if self.factor is None and self.dim is None:
             apply_patterns(module, [_UnrollAndJamPattern()])
             return
         for op in list(module.walk()):
@@ -213,18 +262,35 @@ class UnrollAndJamPass(ModulePass):
                 continue
             if op.interleave_factor != 1:
                 continue
-            dim = select_unroll_dim(op)
+            candidates = unroll_dim_candidates(op)
+            if self.dim is None:
+                dim = candidates[-1] if candidates else None
+            elif self.dim in candidates:
+                dim = self.dim
+            else:
+                continue  # requested dim is not legal for this op
             if dim is None:
                 continue
-            if op.bounds[dim] % self.factor:
+            factor = (
+                self.factor
+                if self.factor is not None
+                else select_unroll_factor(op.bounds[dim])
+            )
+            if factor <= 1 or op.bounds[dim] % factor:
+                # NO_UNROLL (or an explicit degenerate factor): leave
+                # the op untouched rather than rewriting it into a
+                # factor-1 interleave that blocks later interchange.
                 continue
-            _apply_unroll_and_jam(op, dim, self.factor)
+            _apply_unroll_and_jam(op, dim, factor)
 
 
 __all__ = [
     "UnrollAndJamPass",
+    "legal_unroll_factors",
     "select_unroll_factor",
     "select_unroll_dim",
+    "unroll_dim_candidates",
     "MIN_FACTOR",
     "MAX_FACTOR",
+    "NO_UNROLL",
 ]

@@ -1,0 +1,50 @@
+"""Schedule-space autotuning (cycle-oracle search).
+
+The scheduling decisions the compiler normally makes heuristically —
+iteration order (``interchange``), unroll-and-jam factor, cluster
+core count — are all expressible as pass options, and the predecoded
+simulator is fast enough to *measure* every choice instead of
+predicting it.  This package closes that loop:
+
+* :mod:`repro.tune.schedule` — :class:`ScheduleConfig` (one point in
+  the schedule space, round-trippable as a pipeline-spec string),
+  :class:`ScheduleSpace` (the legal configs of one kernel) and
+  :class:`TunedSchedule` (a persisted winning schedule that
+  ``api``/``kernels.networks`` can apply);
+* :mod:`repro.tune.search` — the search driver: exhaustive, budgeted
+  random, and greedy coordinate-descent strategies, each candidate
+  compiled through the ``Compiler`` facade and scored by cycles on the
+  predecoded engine (optionally fanned out across worker processes);
+* :mod:`repro.tune.cache` — a persistent JSON cycle cache keyed by
+  (kernel, shape, config, engine version) so repeated tuning runs and
+  CI are incremental.
+
+See ``docs/TUNING.md`` and ``python -m repro.tools.kernel_tuner``.
+"""
+
+from .cache import TuneCache
+from .schedule import (
+    ScheduleConfig,
+    ScheduleError,
+    ScheduleSpace,
+    TunedSchedule,
+    load_schedules,
+    save_schedules,
+    schedule_table,
+)
+from .search import CandidateOutcome, TuneResult, evaluate_config, tune_kernel
+
+__all__ = [
+    "CandidateOutcome",
+    "ScheduleConfig",
+    "ScheduleError",
+    "ScheduleSpace",
+    "TuneCache",
+    "TuneResult",
+    "TunedSchedule",
+    "evaluate_config",
+    "load_schedules",
+    "save_schedules",
+    "schedule_table",
+    "tune_kernel",
+]

@@ -1,0 +1,113 @@
+"""Persistent cycle cache for schedule-space search.
+
+Cycle counts on the simulator are deterministic: the engine's timing
+model is data-independent, so one (kernel, shape, schedule config,
+engine version) quadruple always scores the same.  That makes tuning
+perfectly cacheable — repeated tuner runs, CI smoke jobs, and network-
+wide sweeps only pay for configs they have never measured.
+
+The store is a flat JSON file::
+
+    {"schema": 1, "entries": {"<key>": <cycles | null>, ...}}
+
+``null`` records a config that *failed* (did not compile, or produced
+wrong results) so reruns skip it without recompiling.  The engine
+version is part of every key — a timing-model change silently starts
+a fresh keyspace instead of serving stale cycles.  A missing or
+corrupt file is treated as empty, never an error.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import Sequence
+
+from ..snitch.engine import ENGINE_VERSION
+from .schedule import ScheduleConfig
+
+#: Internal miss sentinel (a cached failure is a *hit* with None).
+_MISS = object()
+
+
+class TuneCache:
+    """Thread-safe (kernel, shape, config, engine) -> cycles store."""
+
+    SCHEMA = 1
+
+    def __init__(self, path: str | Path | None = None):
+        #: Backing file; None = in-memory only (still deduplicates
+        #: within one tuning run).
+        self.path = Path(path) if path is not None else None
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+        self._entries: dict[str, int | None] = {}
+        self._dirty = False
+        if self.path is not None:
+            self._entries = self._load()
+
+    def _load(self) -> dict[str, int | None]:
+        try:
+            payload = json.loads(self.path.read_text())
+        except (OSError, ValueError):
+            return {}
+        if (
+            not isinstance(payload, dict)
+            or payload.get("schema") != self.SCHEMA
+            or not isinstance(payload.get("entries"), dict)
+        ):
+            return {}
+        entries: dict[str, int | None] = {}
+        for key, cycles in payload["entries"].items():
+            if cycles is None or isinstance(cycles, int):
+                entries[str(key)] = cycles
+        return entries
+
+    @staticmethod
+    def key(
+        kernel: str,
+        sizes: Sequence[int],
+        config: ScheduleConfig,
+        engine_version: int = ENGINE_VERSION,
+    ) -> str:
+        """The canonical cache key of one measurement."""
+        shape = "x".join(str(int(s)) for s in sizes)
+        return f"{kernel}/{shape}/{config.key()}/engine={engine_version}"
+
+    def lookup(self, key: str) -> tuple[bool, int | None]:
+        """(hit, cycles).  A recorded failure is a hit with None."""
+        with self._lock:
+            cycles = self._entries.get(key, _MISS)
+            if cycles is _MISS:
+                self.misses += 1
+                return False, None
+            self.hits += 1
+            return True, cycles
+
+    def put(self, key: str, cycles: int | None) -> None:
+        """Record a measurement (or a failure as None)."""
+        with self._lock:
+            self._entries[key] = cycles
+            self._dirty = True
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def save(self) -> None:
+        """Atomically persist the store (no-op when in-memory/clean)."""
+        if self.path is None:
+            return
+        with self._lock:
+            if not self._dirty:
+                return
+            payload = {"schema": self.SCHEMA, "entries": self._entries}
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+            tmp.write_text(json.dumps(payload, indent=2) + "\n")
+            tmp.replace(self.path)
+            self._dirty = False
+
+
+__all__ = ["TuneCache"]

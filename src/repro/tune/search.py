@@ -1,0 +1,449 @@
+"""Cycle-oracle schedule search.
+
+The driver walks a kernel's :class:`~repro.tune.schedule.ScheduleSpace`
+and *measures* every candidate: compile through the ordinary
+``Compiler`` facade with the config's pipeline spec, run on the
+predecoded engine (or row-partitioned across a cluster for multi-core
+configs), validate against the numpy oracle, score by cycles.  Three
+strategies share one evaluation harness:
+
+* ``exhaustive`` — every legal config (optionally budget-capped);
+* ``random`` — the default plus a seeded random sample of the rest;
+* ``greedy`` — coordinate descent: improve one schedule axis at a
+  time until a full sweep finds nothing better or the budget runs out.
+
+Candidates evaluate serially by default; ``workers > 1`` fans a batch
+out across a ``concurrent.futures`` process pool (compile + simulate
+is pure-Python CPU work, so threads would serialize on the GIL;
+fork-style workers inherit the loaded package for free, and platforms
+without fork stay serial).  Worth it once per-candidate work clearly
+exceeds the ~fraction-of-a-second pool startup — large kernels or
+big budgets; the Table 1 micro-shapes score faster serially.  Every
+measurement goes through the persistent
+:class:`~repro.tune.cache.TuneCache`, making repeated tuning runs
+incremental.  The compiler default is always measured, so the winning
+schedule is never worse than the untuned pipeline.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from random import Random
+from typing import Sequence
+
+import numpy as np
+
+from .. import api
+from ..compiler import Compiler
+from ..snitch.cluster import run_row_partitioned
+from .cache import TuneCache
+from .schedule import (
+    ScheduleConfig,
+    ScheduleError,
+    ScheduleSpace,
+    TunedSchedule,
+    cluster_plan,
+    resolve_kernel,
+)
+
+STRATEGIES = ("exhaustive", "random", "greedy")
+
+#: Parallel evaluation uses fork-style workers: they inherit the
+#: already-imported package (no per-worker re-import) and the task
+#: payload is tiny.  Platforms without fork evaluate serially.
+_FORK_AVAILABLE = "fork" in multiprocessing.get_all_start_methods()
+
+
+def _measure_task(
+    task: tuple,
+) -> tuple[int | None, str | None]:
+    """(cycles, error) for one config — picklable pool work item."""
+    kernel, sizes, config, seed, validate = task
+    try:
+        cycles = evaluate_config(
+            kernel, sizes, config, seed=seed, validate=validate
+        )
+        return cycles, None
+    except Exception as error:  # record, don't rank
+        return None, f"{type(error).__name__}: {error}"
+
+
+def _validate_arrays(kernel: str, arrays, expected) -> None:
+    for got, want in zip(arrays, expected):
+        if want is not None and not np.allclose(got, want, atol=1e-8):
+            raise ScheduleError(
+                f"{kernel}: schedule produced results that do not "
+                "match the numpy oracle"
+            )
+
+
+def evaluate_config(
+    kernel: str,
+    sizes: Sequence[int],
+    config: ScheduleConfig,
+    seed: int = 0,
+    validate: bool = True,
+) -> int:
+    """The cycle oracle: measured cycles of one schedule config.
+
+    Compiles the kernel with the config's pipeline spec and simulates
+    it on the predecoded engine; multi-core configs row-partition the
+    kernel across a cluster sharing one TCDM and score the slowest
+    core.  Raises (``ScheduleError`` or the underlying compiler error)
+    when the config does not compile or fails validation — the search
+    records such configs as invalid rather than ranking them.
+    """
+    builder, sizes = resolve_kernel(kernel, sizes)
+    spec_text = config.pipeline_spec()
+    module, kernel_spec = builder(*sizes)
+    arguments = kernel_spec.random_arguments(seed=seed)
+    if config.num_cores == 1:
+        compiled = Compiler(spec_text).compile(module)
+        run = api.run_kernel(compiled, arguments)
+        if validate:
+            _validate_arrays(
+                kernel, run.arrays, kernel_spec.reference(*arguments)
+            )
+        return run.trace.cycles
+    plan = cluster_plan(kernel, sizes)
+    if plan is None:
+        raise ScheduleError(
+            f"kernel {kernel!r} has no known row-partitioning"
+        )
+    cluster = run_row_partitioned(
+        plan.chunk_builder,
+        lambda chunk_module, _spec: Compiler(spec_text).compile(
+            chunk_module
+        ),
+        plan.shape,
+        config.num_cores,
+        list(arguments),
+        row_parallel_args=list(plan.row_parallel_args),
+    )
+    if validate:
+        _validate_arrays(
+            kernel, cluster.arrays, kernel_spec.reference(*arguments)
+        )
+    return cluster.cycles
+
+
+@dataclass
+class CandidateOutcome:
+    """One scored (or failed) schedule candidate."""
+
+    config: ScheduleConfig
+    spec: str
+    #: Measured cycles; None when the config failed.
+    cycles: int | None
+    #: Whether the score came from the persistent cache.
+    cached: bool
+    error: str | None = None
+
+    @property
+    def valid(self) -> bool:
+        return self.cycles is not None
+
+
+@dataclass
+class TuneResult:
+    """Everything one tuning run learned."""
+
+    kernel: str
+    sizes: tuple[int, ...]
+    strategy: str
+    seed: int
+    best: TunedSchedule
+    candidates: list[CandidateOutcome] = field(default_factory=list)
+    #: Persistent-cache traffic of this run only.
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def default_cycles(self) -> int:
+        return self.best.default_cycles
+
+    @property
+    def candidates_evaluated(self) -> int:
+        return len(self.candidates)
+
+    def report(self) -> str:
+        """A per-candidate table plus the winning schedule."""
+        lines = [
+            f"{self.kernel} {'x'.join(map(str, self.sizes))}: "
+            f"{self.candidates_evaluated} candidates "
+            f"({self.strategy}, seed {self.seed}), "
+            f"default {self.default_cycles} -> best {self.best.cycles} "
+            f"cycles ({self.best.speedup:.2f}x)",
+            f"{'config':<36} {'cycles':>8} {'source':>7}",
+        ]
+        for outcome in sorted(
+            self.candidates,
+            key=lambda o: (o.cycles is None, o.cycles or 0),
+        ):
+            cycles = "failed" if not outcome.valid else str(outcome.cycles)
+            source = "cache" if outcome.cached else "run"
+            lines.append(
+                f"{outcome.config.key():<36} {cycles:>8} {source:>7}"
+            )
+        cores = self.best.config.num_cores
+        lines.append(
+            f"winning spec: {self.best.pipeline_spec}"
+            + (
+                f"\n(cycles measured row-partitioned on {cores} cores;"
+                " the spec alone is the single-core schedule)"
+                if cores != 1
+                else ""
+            )
+        )
+        return "\n".join(lines)
+
+
+class _SearchDriver:
+    """Shared evaluation harness: budget, dedup, cache, parallelism."""
+
+    def __init__(
+        self,
+        space: ScheduleSpace,
+        cache: TuneCache,
+        seed: int,
+        validate: bool,
+        workers: int | None,
+        budget: int | None,
+    ):
+        self.space = space
+        self.cache = cache
+        self.seed = seed
+        self.validate = validate
+        self.workers = 1 if workers is None else max(1, workers)
+        self.budget = budget
+        self.count = 0
+        self.ordered: list[CandidateOutcome] = []
+        self.by_key: dict[str, CandidateOutcome] = {}
+        self._hits0 = cache.hits
+        self._misses0 = cache.misses
+
+    def _key(self, config: ScheduleConfig) -> str:
+        return TuneCache.key(self.space.kernel, self.space.sizes, config)
+
+    def remaining(self) -> int | None:
+        if self.budget is None:
+            return None
+        return max(0, self.budget - self.count)
+
+    def score(
+        self, configs: Sequence[ScheduleConfig]
+    ) -> list[CandidateOutcome]:
+        """Score configs (budget-capped, deduplicated, parallel)."""
+        admitted: list[tuple[str, ScheduleConfig]] = []
+        for config in configs:
+            key = self._key(config)
+            if key in self.by_key or any(
+                key == k for k, _ in admitted
+            ):
+                continue
+            remaining = self.remaining()
+            if remaining is not None and len(admitted) >= remaining:
+                break
+            admitted.append((key, config))
+        self.count += len(admitted)
+
+        pending: list[tuple[str, ScheduleConfig]] = []
+        for key, config in admitted:
+            hit, cycles = self.cache.lookup(key)
+            if hit:
+                self._record(
+                    key,
+                    CandidateOutcome(
+                        config=config,
+                        spec=config.pipeline_spec(),
+                        cycles=cycles,
+                        cached=True,
+                        error=(
+                            "cached failure" if cycles is None else None
+                        ),
+                    ),
+                )
+            else:
+                pending.append((key, config))
+
+        tasks = [
+            (
+                self.space.kernel,
+                self.space.sizes,
+                config,
+                self.seed,
+                self.validate,
+            )
+            for _, config in pending
+        ]
+        if len(pending) > 1 and self.workers > 1 and _FORK_AVAILABLE:
+            with ProcessPoolExecutor(
+                max_workers=min(self.workers, len(pending)),
+                mp_context=multiprocessing.get_context("fork"),
+            ) as pool:
+                measured = list(pool.map(_measure_task, tasks))
+        else:
+            measured = [_measure_task(task) for task in tasks]
+        for (key, config), (cycles, error) in zip(pending, measured):
+            self.cache.put(key, cycles)
+            self._record(
+                key,
+                CandidateOutcome(
+                    config=config,
+                    spec=config.pipeline_spec(),
+                    cycles=cycles,
+                    cached=False,
+                    error=error,
+                ),
+            )
+        return [self.by_key[key] for key, _ in admitted]
+
+    def _record(self, key: str, outcome: CandidateOutcome) -> None:
+        self.by_key[key] = outcome
+        self.ordered.append(outcome)
+
+    def cycles_of(self, config: ScheduleConfig) -> int | None:
+        outcome = self.by_key.get(self._key(config))
+        return outcome.cycles if outcome is not None else None
+
+    # -- strategies ----------------------------------------------------------
+
+    def run_exhaustive(self) -> None:
+        self.score(list(self.space.configs()))
+
+    def run_random(self) -> None:
+        configs = list(self.space.configs())
+        default, rest = configs[0], configs[1:]
+        self.score([default])
+        rng = Random(self.seed)
+        limit = len(rest)
+        if self.budget is not None:
+            limit = min(limit, max(0, self.budget - 1))
+        self.score(rng.sample(rest, limit))
+
+    def run_greedy(self) -> None:
+        configs = list(self.space.configs())
+        current = configs[0]
+        self.score([current])
+        improved = True
+        while improved and (self.remaining() or self.budget is None):
+            improved = False
+            for axis_values in self._axes(current):
+                outcomes = self.score(axis_values)
+                best_cycles = self.cycles_of(current)
+                if best_cycles is None:
+                    return  # default failed; nothing to descend from
+                for outcome in outcomes:
+                    if outcome.valid and outcome.cycles < best_cycles:
+                        best_cycles = outcome.cycles
+                        current = outcome.config
+                        improved = True
+                if self.remaining() == 0:
+                    return
+
+    def _axes(self, current: ScheduleConfig):
+        space = self.space
+        yield [
+            replace(current, permutation=perm)
+            for perm in (None,) + space.permutations
+        ]
+        yield [
+            replace(current, unroll_factor=factor)
+            for factor in space.unroll_factors_for(current.permutation)
+        ]
+        yield [
+            replace(current, num_cores=cores)
+            for cores in space.core_counts
+        ]
+
+    # -- result assembly -----------------------------------------------------
+
+    def finish(self, strategy: str) -> TuneResult:
+        default = next(
+            (o for o in self.ordered if o.config.is_default), None
+        )
+        if default is None or not default.valid:
+            detail = default.error if default is not None else "not scored"
+            raise ScheduleError(
+                f"{self.space.kernel}: the default schedule failed "
+                f"({detail}); tuning has no baseline"
+            )
+        best = default
+        for outcome in self.ordered:
+            if outcome.valid and outcome.cycles < best.cycles:
+                best = outcome
+        tuned = TunedSchedule(
+            kernel=self.space.kernel,
+            sizes=self.space.sizes,
+            config=best.config,
+            pipeline_spec=best.spec,
+            cycles=best.cycles,
+            default_cycles=default.cycles,
+        )
+        return TuneResult(
+            kernel=self.space.kernel,
+            sizes=self.space.sizes,
+            strategy=strategy,
+            seed=self.seed,
+            best=tuned,
+            candidates=list(self.ordered),
+            cache_hits=self.cache.hits - self._hits0,
+            cache_misses=self.cache.misses - self._misses0,
+        )
+
+
+def tune_kernel(
+    kernel: str,
+    sizes: Sequence[int],
+    strategy: str = "exhaustive",
+    budget: int | None = None,
+    seed: int = 0,
+    cache: TuneCache | str | Path | None = None,
+    workers: int | None = None,
+    core_counts: Sequence[int] = (1,),
+    validate: bool = True,
+) -> TuneResult:
+    """Search a kernel's schedule space; returns the full result.
+
+    ``budget`` caps the number of scored candidates (the compiler
+    default always counts as — and is — the first).  ``seed`` fixes
+    both the input data and the random strategy's sampling, so a tuning
+    run is reproducible end to end.  ``cache`` may be a path (opened,
+    used, and saved) or an existing :class:`TuneCache` (saved but kept
+    open, so several kernels can share one store).  ``workers > 1``
+    evaluates each batch across fork-based worker processes — worth it
+    for large kernels or budgets; the default (serial) is fastest for
+    the Table 1 micro-shapes.
+    """
+    if strategy not in STRATEGIES:
+        raise ScheduleError(
+            f"unknown strategy {strategy!r} (one of "
+            f"{', '.join(STRATEGIES)})"
+        )
+    if budget is not None and budget < 1:
+        raise ScheduleError("budget must allow at least one candidate")
+    space = ScheduleSpace.for_kernel(kernel, sizes, core_counts)
+    if not isinstance(cache, TuneCache):
+        cache = TuneCache(cache)
+    driver = _SearchDriver(space, cache, seed, validate, workers, budget)
+    if strategy == "exhaustive":
+        driver.run_exhaustive()
+    elif strategy == "random":
+        driver.run_random()
+    else:
+        driver.run_greedy()
+    result = driver.finish(strategy)
+    cache.save()
+    return result
+
+
+__all__ = [
+    "STRATEGIES",
+    "CandidateOutcome",
+    "TuneResult",
+    "evaluate_config",
+    "tune_kernel",
+]

@@ -23,9 +23,39 @@ class TestPartition:
         chunks = partition_rows(2, 4)
         assert sum(stop - start for start, stop in chunks) == 2
 
+    def test_more_cores_than_rows_yields_no_empty_spans(self):
+        """Surplus cores get no chunk at all, never a (s, s) span."""
+        chunks = partition_rows(2, 4)
+        assert chunks == [(0, 1), (1, 2)]
+        assert all(stop > start for start, stop in chunks)
+        assert partition_rows(1, 8) == [(0, 1)]
+
+    def test_zero_rows_partitions_to_nothing(self):
+        assert partition_rows(0, 4) == []
+
+    def test_uneven_split_covers_contiguously(self):
+        chunks = partition_rows(7, 3)
+        assert chunks == [(0, 3), (3, 5), (5, 7)]
+        for (_, stop), (next_start, _) in zip(chunks, chunks[1:]):
+            assert stop == next_start
+
+    def test_spans_always_non_empty_and_balanced(self):
+        for rows in range(0, 12):
+            for cores in range(1, 12):
+                chunks = partition_rows(rows, cores)
+                sizes = [stop - start for start, stop in chunks]
+                assert all(size > 0 for size in sizes)
+                assert sum(sizes) == rows
+                if sizes:
+                    assert max(sizes) - min(sizes) <= 1
+
     def test_invalid_core_count(self):
         with pytest.raises(ValueError):
             partition_rows(4, 0)
+
+    def test_negative_rows_rejected(self):
+        with pytest.raises(ValueError):
+            partition_rows(-1, 2)
 
 
 def compile_ours(module, spec):

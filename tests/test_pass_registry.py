@@ -124,12 +124,15 @@ class TestAutoRegistration:
 
 class TestOptionIntrospection:
     def test_unroll_factor_is_int(self):
-        (option,) = PASS_REGISTRY.get("unroll-and-jam").options
-        assert option.name == "factor"
-        assert option.py_name == "factor"
-        assert option.type is int
-        assert option.default is None
-        assert not option.required
+        factor, dim = PASS_REGISTRY.get("unroll-and-jam").options
+        assert factor.name == "factor"
+        assert factor.py_name == "factor"
+        assert factor.type is int
+        assert factor.default is None
+        assert not factor.required
+        assert dim.name == "dim"
+        assert dim.type is int
+        assert dim.default is None
 
     def test_use_frep_is_bool(self):
         (option,) = PASS_REGISTRY.get("lower-to-snitch").options

@@ -1,0 +1,109 @@
+"""Property test: tuned-schedule pipeline specs round-trip.
+
+Any legal (interchange permutation, unroll factor) option set must
+survive ``parse -> print -> parse`` of the textual pipeline-spec
+language unchanged, and compiling the same kernel from the original
+and the re-printed spec must produce byte-identical assembly — a tuned
+schedule is exactly as reproducible as the spec string that names it.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import api, kernels
+from repro.ir.pipeline_spec import (
+    parse_pipeline_spec,
+    print_pipeline_spec,
+)
+from repro.transforms.interchange import (
+    format_permutation,
+    legal_interchange_permutations,
+)
+from repro.transforms.pipelines import scheduled_pipeline_spec
+from repro.transforms.unroll_and_jam import legal_unroll_factors
+
+#: Kernel shapes small enough to compile by the dozen, with at least
+#: one reduction (so the unroll axis is live) and 2+ parallel dims
+#: (so the interchange axis is live).
+_SHAPES = st.sampled_from(
+    [
+        ("matmul", (2, 4, 4)),
+        ("matmul", (4, 4, 8)),
+        ("matmul", (1, 8, 8)),
+        ("matmul_t", (2, 4, 6)),
+        ("conv3x3", (4, 4)),
+        ("max_pool3x3", (4, 4)),
+    ]
+)
+
+_BUILDERS = {
+    "matmul": kernels.matmul,
+    "matmul_t": kernels.matmul_transposed,
+    "conv3x3": kernels.conv3x3,
+    "max_pool3x3": kernels.max_pool3x3,
+}
+
+#: Iterator kinds per kernel family (post-conversion canonical order).
+_KINDS = {
+    "matmul": ["parallel", "parallel", "reduction"],
+    "matmul_t": ["parallel", "parallel", "reduction"],
+    "conv3x3": ["parallel", "parallel", "reduction", "reduction"],
+    "max_pool3x3": ["parallel", "parallel", "reduction", "reduction"],
+}
+
+
+@st.composite
+def _legal_option_sets(draw):
+    """(kernel, sizes, permutation | None, factor | None)."""
+    kernel, sizes = draw(_SHAPES)
+    kinds = _KINDS[kernel]
+    permutation = draw(
+        st.one_of(
+            st.none(),
+            st.sampled_from(legal_interchange_permutations(kinds)),
+        )
+    )
+    # The innermost parallel dim of the (possibly permuted) order is
+    # what unroll-and-jam splits; any exact divisor is legal.
+    order = permutation or tuple(range(len(kinds)))
+    inner_parallel = max(
+        new for new, old in enumerate(order) if kinds[old] == "parallel"
+    )
+    bounds = {
+        "matmul": lambda s: (s[0], s[2], s[1]),
+        "matmul_t": lambda s: (s[0], s[2], s[1]),
+        "conv3x3": lambda s: (s[0], s[1], 3, 3),
+        "max_pool3x3": lambda s: (s[0], s[1], 3, 3),
+    }[kernel](sizes)
+    bound = bounds[order[inner_parallel]]
+    factor = draw(
+        st.one_of(
+            st.none(), st.sampled_from(legal_unroll_factors(bound) or [1])
+        )
+    )
+    return kernel, sizes, permutation, factor
+
+
+@given(_legal_option_sets())
+@settings(max_examples=25, deadline=None)
+def test_legal_schedule_specs_round_trip(option_set):
+    kernel, sizes, permutation, factor = option_set
+    spec_text = scheduled_pipeline_spec(
+        permutation=(
+            format_permutation(permutation)
+            if permutation is not None
+            else None
+        ),
+        unroll_factor=factor,
+    )
+    parsed = parse_pipeline_spec(spec_text)
+    printed = print_pipeline_spec(parsed)
+    assert parse_pipeline_spec(printed) == parsed
+    # The canonical print is stable (print . parse is idempotent).
+    assert print_pipeline_spec(parse_pipeline_spec(printed)) == printed
+
+    builder = _BUILDERS[kernel]
+    module_a, _ = builder(*sizes)
+    module_b, _ = builder(*sizes)
+    asm_original = api.compile_linalg(module_a, pipeline=spec_text).asm
+    asm_reprinted = api.compile_linalg(module_b, pipeline=printed).asm
+    assert asm_original == asm_reprinted

@@ -15,9 +15,13 @@ from repro.transforms.scalar_replacement import (
     can_scalar_replace,
 )
 from repro.transforms.unroll_and_jam import (
+    MAX_FACTOR,
+    NO_UNROLL,
     UnrollAndJamPass,
+    legal_unroll_factors,
     select_unroll_dim,
     select_unroll_factor,
+    unroll_dim_candidates,
 )
 
 
@@ -184,10 +188,72 @@ class TestUnrollAndJam:
         assert mul_count == 5
         assert len(block.last_op.operands) == 5
 
+    def test_prime_bounds_fall_back_explicitly(self):
+        """Divisor-free bounds (primes > MAX_FACTOR) must select
+        NO_UNROLL — the pass has no remainder loop, so this is the
+        contract the tuner's legality model builds on."""
+        for prime in (11, 13, 17, 19, 23, 101):
+            assert prime > MAX_FACTOR
+            assert select_unroll_factor(prime) == NO_UNROLL == 1
+
+    def test_selected_factor_is_always_legal(self):
+        """Whatever the heuristic picks divides the bound exactly."""
+        for bound in range(1, 65):
+            factor = select_unroll_factor(bound)
+            assert bound % factor == 0
+            if factor > 1 and bound > MAX_FACTOR:
+                assert factor in legal_unroll_factors(bound)
+
+    def test_legal_unroll_factors(self):
+        assert legal_unroll_factors(12) == [2, 3, 4, 6]
+        assert legal_unroll_factors(8) == [2, 4, 8]
+        assert legal_unroll_factors(11) == []  # prime > MAX_FACTOR
+        assert legal_unroll_factors(1) == []
+
+    def test_prime_bound_leaves_op_untouched(self):
+        module, g = self._scheduled_matmul(1, 16, 11)
+        UnrollAndJamPass().run(module)
+        assert g.interleave_factor == 1  # explicit no-unroll fallback
+
     def test_explicit_factor(self):
         module, g = self._scheduled_matmul(1, 16, 8)
         UnrollAndJamPass(factor=2).run(module)
         assert g.interleave_factor == 2
+
+    def test_explicit_dim_option(self):
+        """dim= picks the interleave dim; an illegal dim is skipped."""
+        module, g = self._scheduled_matmul(4, 16, 8)
+        assert unroll_dim_candidates(g) == [0, 1]
+        UnrollAndJamPass(factor=2, dim=0).run(module)
+        verify(module)
+        assert g.interleave_factor == 2
+        # The outer (M) dim was split: 4 -> 2 with factor 2 appended.
+        assert g.bounds == (2, 8, 16, 2)
+
+    def test_illegal_dim_option_degrades_to_no_unroll(self):
+        module, g = self._scheduled_matmul(4, 16, 8)
+        UnrollAndJamPass(factor=2, dim=2).run(module)  # a reduction dim
+        assert g.interleave_factor == 1
+
+    def test_nondividing_factor_degrades_to_no_unroll(self):
+        module, g = self._scheduled_matmul(1, 16, 8)
+        UnrollAndJamPass(factor=3).run(module)
+        assert g.interleave_factor == 1
+
+    def test_factor_one_leaves_op_untouched(self):
+        """An explicit factor of 1 (or dim= hitting the NO_UNROLL
+        heuristic) must not rewrite the op into a degenerate factor-1
+        interleave — that would block a later interchange."""
+        module, g = self._scheduled_matmul(1, 16, 8)
+        UnrollAndJamPass(factor=1).run(module)
+        assert "interleaved" not in g.iterator_types
+        assert g.bounds == (1, 8, 16)
+
+    def test_dim_option_with_prime_bound_leaves_op_untouched(self):
+        module, g = self._scheduled_matmul(11, 4, 4)
+        UnrollAndJamPass(dim=0).run(module)  # bound 11 -> NO_UNROLL
+        assert "interleaved" not in g.iterator_types
+        assert g.bounds == (11, 4, 4)
 
     def test_elementwise_untouched(self):
         module, _ = kernels.relu(4, 4)

@@ -1,0 +1,375 @@
+"""Tests for the schedule-space autotuner (repro.tune)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import api, kernels
+from repro.compiler import Compiler
+from repro.kernels import networks
+from repro.snitch.engine import ENGINE_VERSION
+from repro.snitch.machine import SnitchMachine
+from repro.snitch.memory import TCDM
+from repro.tools import kernel_tuner
+from repro.tune import (
+    ScheduleConfig,
+    ScheduleError,
+    ScheduleSpace,
+    TuneCache,
+    TunedSchedule,
+    evaluate_config,
+    load_schedules,
+    save_schedules,
+    schedule_table,
+    tune_kernel,
+)
+
+
+class TestScheduleConfig:
+    def test_default(self):
+        config = ScheduleConfig()
+        assert config.is_default
+        module_a, _ = kernels.matmul(2, 4, 6)
+        module_b, _ = kernels.matmul(2, 4, 6)
+        default_asm = api.compile_linalg(module_a, pipeline="ours").asm
+        tuned_asm = api.compile_linalg(
+            module_b, pipeline=config.pipeline_spec()
+        ).asm
+        assert default_asm == tuned_asm
+
+    def test_key_and_json_round_trip(self):
+        config = ScheduleConfig(
+            permutation=(1, 0, 2), unroll_factor=4, num_cores=2
+        )
+        assert config.key() == "perm=1-0-2|factor=4|cores=2"
+        assert ScheduleConfig.from_json(config.to_json()) == config
+        assert ScheduleConfig.from_json(
+            ScheduleConfig().to_json()
+        ) == ScheduleConfig()
+
+    def test_spec_carries_options(self):
+        config = ScheduleConfig(permutation=(1, 0, 2), unroll_factor=8)
+        spec = config.pipeline_spec()
+        assert "interchange{permutation=1-0-2}" in spec
+        assert "unroll-and-jam{factor=8}" in spec
+
+
+class TestScheduleSpace:
+    def test_matmul_space(self):
+        space = ScheduleSpace.for_kernel("matmul", (4, 4, 4))
+        configs = list(space.configs())
+        assert configs[0].is_default
+        assert space.size() == len(configs) == 4
+        # 2 parallel-dim orders x {auto, factor 2}.
+        keys = {c.key() for c in configs}
+        assert "perm=id|factor=auto|cores=1" in keys
+        assert "perm=1-0-2|factor=2|cores=1" in keys
+
+    def test_elementwise_has_no_unroll_axis(self):
+        space = ScheduleSpace.for_kernel("relu", (4, 8))
+        assert all(
+            c.unroll_factor is None for c in space.configs()
+        )
+
+    def test_factor_axis_follows_the_permuted_unroll_dim(self):
+        # matmul(6, 4, 8): identity order unrolls N=8 (divisors 2, 4,
+        # 8; heuristic 4), the swapped order unrolls M=6 (divisors
+        # 2, 3, 6; heuristic 6... -> {2, 3}).
+        space = ScheduleSpace.for_kernel("matmul", (6, 4, 8))
+        assert set(space.unroll_factors_for(None)) == {None, 2, 8}
+        assert set(space.unroll_factors_for((1, 0, 2))) == {None, 2, 3}
+
+    def test_unknown_kernel(self):
+        with pytest.raises(ScheduleError, match="unknown kernel"):
+            ScheduleSpace.for_kernel("nope", (4, 4))
+
+    def test_wrong_arity(self):
+        with pytest.raises(ScheduleError, match="sizes"):
+            ScheduleSpace.for_kernel("matmul", (4, 4))
+
+
+class TestOracle:
+    def test_default_config_matches_api(self):
+        cycles = evaluate_config("matmul", (4, 8, 8), ScheduleConfig())
+        module, spec = kernels.matmul(4, 8, 8)
+        compiled = api.compile_linalg(module, pipeline="ours")
+        run = api.run_kernel(
+            compiled, spec.random_arguments(seed=0)
+        )
+        assert cycles == run.trace.cycles
+
+    def test_cluster_config_scores_slowest_core(self):
+        single = evaluate_config("sum", (16, 16), ScheduleConfig())
+        quad = evaluate_config(
+            "sum", (16, 16), ScheduleConfig(num_cores=4)
+        )
+        assert 0 < quad < single
+
+
+class TestTuneKernel:
+    def test_exhaustive_never_regresses(self):
+        result = tune_kernel("matmul", (4, 4, 4))
+        assert result.best.cycles <= result.default_cycles
+        assert result.candidates_evaluated == 4
+        assert any(o.config.is_default for o in result.candidates)
+
+    def test_strict_improvement_exists(self):
+        """matmul 1x16x64: factor 8 beats the heuristic's factor 4 —
+        the acceptance-criteria witness for the Fig. 11 sweep."""
+        result = tune_kernel("matmul", (1, 16, 64))
+        assert result.best.cycles < result.default_cycles
+        assert result.best.config.unroll_factor == 8
+
+    def test_budget_is_respected(self):
+        result = tune_kernel("conv3x3", (6, 6), budget=3)
+        assert result.candidates_evaluated <= 3
+        assert result.candidates[0].config.is_default
+
+    def test_random_strategy_is_seed_deterministic(self):
+        a = tune_kernel(
+            "conv3x3", (6, 6), strategy="random", budget=5, seed=42
+        )
+        b = tune_kernel(
+            "conv3x3", (6, 6), strategy="random", budget=5, seed=42
+        )
+        assert [o.config for o in a.candidates] == [
+            o.config for o in b.candidates
+        ]
+        assert a.best.cycles == b.best.cycles
+        different = tune_kernel(
+            "conv3x3", (6, 6), strategy="random", budget=5, seed=43
+        )
+        assert a.seed != different.seed
+
+    def test_greedy_never_regresses(self):
+        result = tune_kernel("conv3x3", (6, 6), strategy="greedy")
+        exhaustive = tune_kernel("conv3x3", (6, 6))
+        assert result.best.cycles <= result.default_cycles
+        # Greedy scores fewer candidates than the full space here.
+        assert (
+            result.candidates_evaluated
+            <= exhaustive.candidates_evaluated
+        )
+
+    def test_parallel_evaluation_matches_serial(self):
+        """workers>1 (process pool) must score identically to serial."""
+        serial = tune_kernel("conv3x3", (6, 6), workers=1)
+        parallel = tune_kernel("conv3x3", (6, 6), workers=2)
+        assert [o.cycles for o in serial.candidates] == [
+            o.cycles for o in parallel.candidates
+        ]
+        assert serial.best == parallel.best
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ScheduleError, match="strategy"):
+            tune_kernel("matmul", (4, 4, 4), strategy="magic")
+
+    def test_cluster_axis_tunes_cores(self):
+        result = tune_kernel("sum", (16, 16), core_counts=(1, 4))
+        assert result.best.config.num_cores == 4
+        assert result.best.cycles < result.default_cycles
+
+    def test_tuned_winner_passes_differential(self):
+        """Tuned asm runs identically on both engines and matches
+        numpy — the tuner's oracle is the differential-tested one."""
+        result = tune_kernel("matmul", (1, 16, 64))
+        best = result.best
+        module, spec = kernels.matmul(1, 16, 64)
+        compiled = Compiler(best.pipeline_spec).compile(module)
+        arguments = spec.random_arguments(seed=0)
+        traces = []
+        finals = []
+        for reference in (False, True):
+            memory = TCDM()
+            int_args = {}
+            placements = []
+            for index, argument in enumerate(arguments):
+                base = memory.allocate(argument.nbytes)
+                memory.write_array(base, argument)
+                int_args[f"a{index}"] = base
+                placements.append((base, argument))
+            machine = SnitchMachine(compiled.program, memory)
+            runner = (
+                machine.run_reference if reference else machine.run
+            )
+            traces.append(runner(compiled.entry, int_args=int_args))
+            finals.append(
+                [
+                    memory.read_array(base, a.shape, a.dtype)
+                    for base, a in placements
+                ]
+            )
+        assert traces[0].cycles == traces[1].cycles == best.cycles
+        for fast, ref in zip(finals[0], finals[1]):
+            np.testing.assert_array_equal(fast, ref)
+        expected = spec.reference(*arguments)
+        np.testing.assert_allclose(
+            finals[0][2], expected[2], atol=1e-8
+        )
+
+
+class TestCache:
+    def test_second_run_is_all_hits(self, tmp_path):
+        path = tmp_path / "cache.json"
+        first = tune_kernel("matmul", (4, 4, 4), cache=path)
+        assert first.cache_misses == 4 and first.cache_hits == 0
+        second = tune_kernel("matmul", (4, 4, 4), cache=path)
+        assert second.cache_hits == 4 and second.cache_misses == 0
+        assert second.best.cycles == first.best.cycles
+
+    def test_key_includes_engine_version(self):
+        key = TuneCache.key("matmul", (4, 4, 4), ScheduleConfig())
+        assert f"engine={ENGINE_VERSION}" in key
+        stale = TuneCache.key(
+            "matmul", (4, 4, 4), ScheduleConfig(), engine_version=999
+        )
+        assert stale != key
+
+    def test_corrupt_file_is_treated_as_empty(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text("{not json")
+        cache = TuneCache(path)
+        assert len(cache) == 0
+        result = tune_kernel("matmul", (4, 4, 4), cache=cache)
+        assert result.cache_misses == 4
+        # And a clean save overwrote the corrupt file.
+        assert json.loads(path.read_text())["schema"] == 1
+
+    def test_in_memory_deduplicates_within_a_run(self):
+        cache = TuneCache()
+        tune_kernel("matmul", (4, 4, 4), cache=cache)
+        result = tune_kernel("matmul", (4, 4, 4), cache=cache)
+        assert result.cache_hits == 4
+
+    def test_failures_are_cached(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = TuneCache(path)
+        key = TuneCache.key("matmul", (4, 4, 4), ScheduleConfig())
+        cache.put(key, None)
+        cache.save()
+        reopened = TuneCache(path)
+        hit, cycles = reopened.lookup(key)
+        assert hit and cycles is None
+
+
+class TestTunedSchedule:
+    def test_json_round_trip(self, tmp_path):
+        result = tune_kernel("matmul", (1, 16, 64))
+        path = tmp_path / "schedules.json"
+        save_schedules(path, [result.best])
+        (loaded,) = load_schedules(path)
+        assert loaded == result.best
+        assert loaded.speedup >= 1.0
+
+    def test_malformed_artifact(self, tmp_path):
+        path = tmp_path / "schedules.json"
+        path.write_text('{"schema": 1, "schedules": [{"kernel": "x"}]}')
+        with pytest.raises(ScheduleError, match="malformed"):
+            load_schedules(path)
+
+    def test_multicore_schedule_rejected_by_schedule_table(self):
+        """A cluster-tuned schedule's cycles are unreachable through a
+        pipeline spec, so applying it to single-core network layers
+        must fail loudly instead of silently running the default."""
+        result = tune_kernel("sum", (16, 16), core_counts=(1, 4))
+        assert result.best.config.num_cores == 4
+        # The spec itself only encodes the compile-time schedule...
+        assert (
+            result.best.pipeline_spec
+            == ScheduleConfig(
+                permutation=result.best.config.permutation,
+                unroll_factor=result.best.config.unroll_factor,
+            ).pipeline_spec()
+        )
+        # ...so schedule_table refuses it.
+        with pytest.raises(ScheduleError, match="cores"):
+            schedule_table([result.best])
+        # And the report says so.
+        assert "4 cores" in result.report()
+
+    def test_networks_apply_tuned_schedules(self):
+        """A tuned per-layer schedule drops whole-network cycles."""
+        layers = [
+            networks.LayerConfig("fc", kernels.matmul, (1, 16, 64)),
+            networks.LayerConfig("act", kernels.relu, (1, 64)),
+        ]
+        result = tune_kernel("matmul", (1, 16, 64))
+        table = schedule_table([result.best])
+        assert ("matmul", (1, 16, 64)) in table
+        default_run = networks.run_network("mini", layers)
+        tuned_run = networks.run_network(
+            "mini", layers, schedules=table
+        )
+        assert (
+            tuned_run.total_cycles < default_run.total_cycles
+        )
+
+
+class TestTunerCLI:
+    def test_report_output(self, capsys, tmp_path):
+        assert (
+            kernel_tuner.main(
+                [
+                    "matmul", "4", "4", "4",
+                    "--cache", str(tmp_path / "c.json"),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "4 candidates" in out
+        assert "winning spec:" in out
+
+    def test_emit_spec_round_trips(self, capsys, tmp_path):
+        assert (
+            kernel_tuner.main(
+                ["matmul", "1", "16", "64", "--emit-spec", "--no-cache"]
+            )
+            == 0
+        )
+        spec = capsys.readouterr().out.strip()
+        module, kspec = kernels.matmul(1, 16, 64)
+        compiled = api.compile_linalg(module, pipeline=spec)
+        run = api.run_kernel(
+            compiled, kspec.random_arguments(seed=0)
+        )
+        result = tune_kernel("matmul", (1, 16, 64))
+        assert run.trace.cycles == result.best.cycles
+
+    def test_save_artifact(self, capsys, tmp_path):
+        artifact = tmp_path / "schedules.json"
+        kernel_tuner.main(
+            [
+                "matmul", "4", "4", "4",
+                "--no-cache", "--save", str(artifact),
+            ]
+        )
+        (loaded,) = load_schedules(artifact)
+        assert loaded.kernel == "matmul"
+        # Saving again replaces (not duplicates) the entry.
+        kernel_tuner.main(
+            [
+                "matmul", "4", "4", "4",
+                "--no-cache", "--save", str(artifact),
+            ]
+        )
+        assert len(load_schedules(artifact)) == 1
+
+    def test_list_space(self, capsys):
+        assert (
+            kernel_tuner.main(["matmul", "4", "4", "4", "--list-space"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "4 legal configs" in out
+
+    def test_bad_cores(self):
+        with pytest.raises(SystemExit):
+            kernel_tuner.main(["matmul", "4", "4", "4", "--cores", "x"])
+
+
+class TestTunedScheduleRecord:
+    def test_engine_version_recorded(self):
+        result = tune_kernel("matmul", (4, 4, 4))
+        assert result.best.engine_version == ENGINE_VERSION
