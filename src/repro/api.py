@@ -68,13 +68,17 @@ def run_kernel(
     compiled: CompiledKernel,
     arguments: list[np.ndarray | float],
     max_instructions: int = 50_000_000,
+    deadline_seconds: float | None = None,
 ) -> KernelRun:
     """Simulate a compiled kernel on fresh TCDM contents.
 
     ``arguments`` parallel the kernel's parameters: numpy arrays are
     copied into TCDM buffers and passed as pointers in ``a0, a1, ...``;
     Python floats are passed in ``fa0, fa1, ...``.  Arrays are copied
-    back after execution (``KernelRun.arrays``).
+    back after execution (``KernelRun.arrays``).  ``deadline_seconds``
+    arms the simulator's cooperative wall-clock watchdog: a run that
+    exceeds it raises :class:`~repro.snitch.machine.DeadlineExceeded`
+    instead of monopolising the process.
     """
     memory = TCDM()
     int_args: dict[str, int] = {}
@@ -94,7 +98,10 @@ def run_kernel(
             next_float += 1
             placements.append(None)
     machine = SnitchMachine(
-        compiled.program, memory, max_instructions=max_instructions
+        compiled.program,
+        memory,
+        max_instructions=max_instructions,
+        deadline_seconds=deadline_seconds,
     )
     trace = machine.run(
         compiled.entry, int_args=int_args, float_args=float_args

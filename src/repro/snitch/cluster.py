@@ -97,6 +97,7 @@ def run_row_partitioned(
     arguments: list[np.ndarray | float],
     row_parallel_args: list[int],
     seed_rows_arg: int | None = None,
+    deadline_seconds: float | None = None,
 ) -> ClusterRun:
     """Run a 2-d row-parallel kernel across ``num_cores`` cores.
 
@@ -106,7 +107,9 @@ def run_row_partitioned(
     partitioned by rows (all others are broadcast to every core).
 
     The shared TCDM holds one copy of every array; each core receives
-    row-offset base pointers into it.
+    row-offset base pointers into it.  ``deadline_seconds`` arms each
+    core's cooperative wall-clock watchdog (cores simulate in turn, so
+    the cluster-wide worst case is ``num_cores`` times the budget).
     """
     rows, cols = shape
     chunks = partition_rows(rows, num_cores)
@@ -134,7 +137,9 @@ def run_row_partitioned(
             module, spec = kernel_builder(*shape_key)
             compiled = compile_fn(module, spec)
             compiled_by_shape[shape_key] = compiled
-        machine = SnitchMachine(compiled.program, memory)
+        machine = SnitchMachine(
+            compiled.program, memory, deadline_seconds=deadline_seconds
+        )
         int_args: dict[str, int] = {}
         float_args: dict[str, float] = {}
         next_int = 0

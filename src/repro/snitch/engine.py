@@ -32,6 +32,8 @@ a cluster (and repeated runs of one kernel) share one decode.
 
 from __future__ import annotations
 
+from time import monotonic
+
 import numpy as np
 
 from ..backend.registers import FLOAT_REGISTERS, INT_REGISTERS
@@ -65,6 +67,7 @@ from .machine import (
     INT_LOAD_LATENCY,
     MUL_LATENCY,
     STREAM_REGISTERS,
+    DeadlineExceeded,
     SimulationError,
     SnitchMachine,
     _SCALAR_OPS,
@@ -188,7 +191,7 @@ class _State:
     __slots__ = (
         "xs", "fs", "xready", "fready", "int_time", "fpu_time",
         "streaming", "movers", "trace", "timeline", "executed",
-        "max_instructions", "data", "size",
+        "max_instructions", "data", "size", "deadline",
     )
 
 
@@ -224,6 +227,7 @@ def make_state(machine: SnitchMachine) -> _State:
     s.timeline = machine.timeline if machine.record_timeline else None
     s.executed = machine._executed
     s.max_instructions = machine.max_instructions
+    s.deadline = machine._deadline
     s.data = machine.memory.data
     s.size = machine.memory.size
     return s
@@ -1189,9 +1193,15 @@ def _make_frep(rs, length, body, next_pc):
         base = frep_issue + 1
         maxi = s.max_instructions
         executed = s.executed
+        deadline = s.deadline
         try:
             first = True
             for _ in range(iterations):
+                if deadline is not None and monotonic() > deadline:
+                    raise DeadlineExceeded(
+                        "wall-clock deadline exceeded after "
+                        f"{executed} instructions (inside frep)"
+                    )
                 d = base
                 for fn, mn in body:
                     h[mn] = h.get(mn, 0) + 1
@@ -1433,6 +1443,7 @@ def execute(machine: SnitchMachine, entry: str):
     pc = machine.program.entry(entry)
     s = make_state(machine)
     maxi = s.max_instructions
+    deadline = s.deadline
     try:
         while True:
             if pc < 0 or pc >= n:
@@ -1442,6 +1453,15 @@ def execute(machine: SnitchMachine, entry: str):
             if ex > maxi:
                 raise SimulationError(
                     "instruction budget exceeded (infinite loop?)"
+                )
+            if (
+                deadline is not None
+                and (ex & 4095) == 0
+                and monotonic() > deadline
+            ):
+                raise DeadlineExceeded(
+                    "wall-clock deadline exceeded after "
+                    f"{ex} instructions"
                 )
             nxt = code[pc](s)
             if nxt is None:

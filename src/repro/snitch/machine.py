@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass, field
+from time import monotonic
 
 import numpy as np
 
@@ -68,6 +69,20 @@ from .trace import ExecutionTrace
 
 class SimulationError(Exception):
     """Raised on illegal programs (bad streams, runaway execution...)."""
+
+
+class DeadlineExceeded(SimulationError):
+    """A run blew its cooperative wall-clock deadline.
+
+    Raised by both engines when ``deadline_seconds`` was given and the
+    wall clock passes it mid-run — a *structured* failure the tuning
+    layer maps to :class:`~repro.tune.faults.TimeoutFault`, so a
+    pathological candidate stalls a worker for a bounded time instead
+    of hanging it.  The check is cooperative (every few thousand
+    instructions / every FREP iteration), so the trip point is
+    load-dependent; it never fires when no deadline is set, keeping
+    the engines bit-exact for ordinary runs.
+    """
 
 
 # -- timing parameters (DESIGN.md Section 5) -----------------------------------
@@ -193,10 +208,16 @@ class SnitchMachine:
         memory: TCDM | None = None,
         max_instructions: int = 50_000_000,
         record_timeline: bool = False,
+        deadline_seconds: float | None = None,
     ):
         self.program = program
         self.memory = memory if memory is not None else TCDM()
         self.max_instructions = max_instructions
+        #: Cooperative wall-clock budget per run (None = unlimited).
+        #: Converted to an absolute :func:`time.monotonic` deadline at
+        #: the start of each run.
+        self.deadline_seconds = deadline_seconds
+        self._deadline: float | None = None
         #: When enabled, (issue cycle, unit, instruction) per issue —
         #: the reproduction's analogue of the paper's instruction-trace
         #: post-processing (Section 4.1).
@@ -287,6 +308,7 @@ class SnitchMachine:
             self.write_int(name, value)
         for name, value in (float_args or {}).items():
             self.write_float_bits(name, f64_to_bits(value))
+        self._arm_deadline()
         execute(self, entry)
         self.trace.cycles = max(self.int_time, self.fpu_time)
         return self.trace
@@ -307,6 +329,8 @@ class SnitchMachine:
             self.write_int(name, value)
         for name, value in (float_args or {}).items():
             self.write_float_bits(name, f64_to_bits(value))
+        self._arm_deadline()
+        deadline = self._deadline
         pc = self.program.entry(entry)
         instructions = self.program.instructions
         while True:
@@ -318,11 +342,28 @@ class SnitchMachine:
                 raise SimulationError(
                     "instruction budget exceeded (infinite loop?)"
                 )
+            if (
+                deadline is not None
+                and (self._executed & 4095) == 0
+                and monotonic() > deadline
+            ):
+                raise DeadlineExceeded(
+                    f"wall-clock deadline of {self.deadline_seconds:g}s "
+                    f"exceeded after {self._executed} instructions"
+                )
             if inst.mnemonic == "ret":
                 break
             pc = self._step(inst, pc)
         self.trace.cycles = max(self.int_time, self.fpu_time)
         return self.trace
+
+    def _arm_deadline(self) -> None:
+        """Fix the absolute wall-clock deadline for the coming run."""
+        self._deadline = (
+            monotonic() + self.deadline_seconds
+            if self.deadline_seconds is not None
+            else None
+        )
 
     # -- execution -----------------------------------------------------------------------
 
@@ -609,7 +650,14 @@ class SnitchMachine:
             frep_issue + 1 + j for j in range(length)
         ]
         self.int_time = frep_issue + 1 + length
+        deadline = self._deadline
         for iteration in range(iterations):
+            if deadline is not None and monotonic() > deadline:
+                raise DeadlineExceeded(
+                    f"wall-clock deadline of {self.deadline_seconds:g}s "
+                    f"exceeded after {self._executed} instructions "
+                    "(inside frep)"
+                )
             for j, binst in enumerate(body):
                 self.trace.record(binst.mnemonic)
                 self._executed += 1
@@ -649,6 +697,7 @@ _SCALAR_OPS = {
 __all__ = [
     "SnitchMachine",
     "SimulationError",
+    "DeadlineExceeded",
     "DataMover",
     "FP_LATENCY",
     "FP_LOAD_LATENCY",

@@ -15,23 +15,45 @@ back into ``kernel_compiler --pipeline`` (or ``api.compile_linalg``);
 ``--save`` persists the winning :class:`~repro.tune.TunedSchedule` as
 a JSON artifact that network runs can apply.  Measurements go through
 the persistent cycle cache (``--cache``), so re-tuning is incremental.
+
+Evaluation is fault-tolerant (see ``docs/ROBUSTNESS.md``): with
+``--workers N`` candidates run on a hardened pool that retries
+transient faults, respawns crashed workers, and SIGKILLs candidates
+past ``--deadline``; Ctrl-C or SIGTERM checkpoints the cache, saves
+the best-so-far schedule, and exits with a distinct code.  The
+``REPRO_TUNE_FAULTS`` environment variable installs a deterministic
+fault-injection plan (``ACTION@INDEX[=VALUE][:sticky]``; actions:
+crash, delay, raise, interrupt) for chaos drills.
 """
 
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 
 from ..kernels.builders import KERNEL_BUILDERS
 from ..tune import (
+    FaultInjector,
     ScheduleError,
     ScheduleSpace,
+    SearchInterrupted,
     TuneCache,
+    TunedSchedule,
     load_schedules,
     save_schedules,
     tune_kernel,
 )
 from ..tune.search import STRATEGIES
+
+_EXIT_CODES = """\
+exit codes:
+  0    success
+  2    usage error (bad arguments)
+  3    tuning failed (the default schedule has no valid baseline)
+  130  interrupted by Ctrl-C (cache checkpointed, partial results saved)
+  143  terminated by SIGTERM (cache checkpointed, partial results saved)
+"""
 
 
 def build_argument_parser() -> argparse.ArgumentParser:
@@ -39,6 +61,7 @@ def build_argument_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-kernel-tuner",
         description=__doc__,
+        epilog=_EXIT_CODES,
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument(
@@ -93,9 +116,26 @@ def build_argument_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         metavar="N",
-        help="evaluation worker processes; >1 forks a process pool "
-        "per batch, worth it for large kernels/budgets "
-        "(default: 1 = serial)",
+        help="evaluation worker processes; >1 runs batches on the "
+        "hardened pool (crash respawn, retry, watchdog), worth it for "
+        "large kernels/budgets (default: 1 = serial)",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-candidate wall-clock deadline; past-due workers are "
+        "killed and the candidate recorded as a timeout fault "
+        "(default: none)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="extra dispatch attempts for transient faults — worker "
+        "crashes and timeouts (default: 2)",
     )
     parser.add_argument(
         "--emit-spec",
@@ -116,46 +156,32 @@ def build_argument_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _parse_cores(text: str) -> tuple[int, ...]:
+def _parse_cores(
+    parser: argparse.ArgumentParser, text: str
+) -> tuple[int, ...]:
     try:
         return tuple(int(part) for part in text.split(","))
     except ValueError:
-        raise SystemExit(
+        parser.error(
             f"bad --cores {text!r}: expected comma-separated integers"
         )
 
 
-def main(argv=None) -> int:
-    """Entry point; returns a process exit code."""
-    parser = build_argument_parser()
-    args = parser.parse_args(argv)
-    core_counts = _parse_cores(args.cores)
+def _save_artifact(path: str, best: TunedSchedule) -> None:
+    """Append ``best`` to the artifact, replacing any same-shape entry."""
     try:
-        if args.list_space:
-            space = ScheduleSpace.for_kernel(
-                args.kernel, args.sizes, core_counts
-            )
-            print(
-                f"{space.kernel}: bounds {list(space.bounds)}, "
-                f"iterators {list(space.iterator_types)}, "
-                f"{space.size()} legal configs"
-            )
-            for config in space.configs():
-                print(f"  {config.key()}")
-            return 0
-        cache = TuneCache(None if args.no_cache else args.cache)
-        result = tune_kernel(
-            args.kernel,
-            args.sizes,
-            strategy=args.strategy,
-            budget=args.budget,
-            seed=args.seed,
-            cache=cache,
-            workers=args.workers,
-            core_counts=core_counts,
-        )
-    except ScheduleError as error:
-        raise SystemExit(f"tuning failed: {error}")
+        existing = load_schedules(path)
+    except ScheduleError:
+        existing = []
+    keep = [
+        schedule
+        for schedule in existing
+        if (schedule.kernel, schedule.sizes) != (best.kernel, best.sizes)
+    ]
+    save_schedules(path, keep + [best])
+
+
+def _print_result(result, args) -> None:
     if args.emit_spec:
         print(result.best.pipeline_spec)
         if result.best.config.num_cores != 1:
@@ -166,25 +192,98 @@ def main(argv=None) -> int:
                 "schedule only",
                 file=sys.stderr,
             )
-    else:
-        print(result.report())
-        print(
-            f"cache: {result.cache_hits} hits, "
-            f"{result.cache_misses} misses"
-            + ("" if args.no_cache else f" ({args.cache})")
+        return
+    print(result.report())
+    print(
+        f"cache: {result.cache_hits} hits, "
+        f"{result.cache_misses} misses"
+        + ("" if args.no_cache else f" ({args.cache})")
+    )
+    if result.faults:
+        kinds: dict[str, int] = {}
+        for fault in result.faults:
+            kinds[fault.kind] = kinds.get(fault.kind, 0) + 1
+        summary = ", ".join(
+            f"{count} {kind}" for kind, count in sorted(kinds.items())
         )
-    if args.save:
+        print(f"faults: {summary}")
+
+
+def main(argv=None) -> int:
+    """Entry point; returns a process exit code (see ``--help``)."""
+    parser = build_argument_parser()
+    args = parser.parse_args(argv)
+    core_counts = _parse_cores(parser, args.cores)
+    if args.list_space:
         try:
-            existing = load_schedules(args.save)
-        except ScheduleError:
-            existing = []
-        keep = [
-            schedule
-            for schedule in existing
-            if (schedule.kernel, schedule.sizes)
-            != (result.best.kernel, result.best.sizes)
-        ]
-        save_schedules(args.save, keep + [result.best])
+            space = ScheduleSpace.for_kernel(
+                args.kernel, args.sizes, core_counts
+            )
+        except ScheduleError as error:
+            print(f"tuning failed: {error}", file=sys.stderr)
+            return 3
+        print(
+            f"{space.kernel}: bounds {list(space.bounds)}, "
+            f"iterators {list(space.iterator_types)}, "
+            f"{space.size()} legal configs"
+        )
+        for config in space.configs():
+            print(f"  {config.key()}")
+        return 0
+
+    # SIGTERM (a supervisor's polite kill) checkpoints exactly like
+    # Ctrl-C; the flag keeps the two distinguishable in the exit code.
+    got_sigterm = False
+
+    def _on_sigterm(signum, frame):
+        nonlocal got_sigterm
+        got_sigterm = True
+        raise KeyboardInterrupt
+
+    try:
+        previous_sigterm = signal.signal(signal.SIGTERM, _on_sigterm)
+    except ValueError:  # not the main thread (embedded use)
+        previous_sigterm = None
+
+    cache = TuneCache(None if args.no_cache else args.cache)
+    try:
+        result = tune_kernel(
+            args.kernel,
+            args.sizes,
+            strategy=args.strategy,
+            budget=args.budget,
+            seed=args.seed,
+            cache=cache,
+            workers=args.workers,
+            core_counts=core_counts,
+            deadline=args.deadline,
+            retries=args.retries,
+            injector=FaultInjector.from_env(),
+        )
+    except SearchInterrupted as interrupt:
+        # The cache was checkpointed by the search; persist the
+        # best-so-far schedule too, then report what survived.
+        print(f"interrupted: {interrupt}", file=sys.stderr)
+        if interrupt.partial is not None:
+            _print_result(interrupt.partial, args)
+            if args.save:
+                _save_artifact(args.save, interrupt.partial.best)
+                if not args.emit_spec:
+                    print(
+                        f"saved best-so-far schedule to {args.save}",
+                        file=sys.stderr,
+                    )
+        return 143 if got_sigterm else 130
+    except ScheduleError as error:
+        print(f"tuning failed: {error}", file=sys.stderr)
+        return 3
+    finally:
+        if previous_sigterm is not None:
+            signal.signal(signal.SIGTERM, previous_sigterm)
+
+    _print_result(result, args)
+    if args.save:
+        _save_artifact(args.save, result.best)
         if not args.emit_spec:
             print(f"saved tuned schedule to {args.save}")
     return 0

@@ -15,14 +15,36 @@ predicting it.  This package closes that loop:
   random, and greedy coordinate-descent strategies, each candidate
   compiled through the ``Compiler`` facade and scored by cycles on the
   predecoded engine (optionally fanned out across worker processes);
-* :mod:`repro.tune.cache` — a persistent JSON cycle cache keyed by
-  (kernel, shape, config, engine version) so repeated tuning runs and
-  CI are incremental.
+* :mod:`repro.tune.cache` — a crash-safe persistent JSON cycle cache
+  keyed by (kernel, shape, config, engine version) so repeated tuning
+  runs and CI are incremental (corrupt files quarantine, concurrent
+  savers merge);
+* :mod:`repro.tune.faults` — the structured fault taxonomy every
+  evaluation failure is classified into, plus the deterministic
+  fault-injection harness the chaos tests drive;
+* :mod:`repro.tune.workers` — :class:`HardenedPool`, the
+  retry/timeout/respawn/degrade worker pool candidate evaluation runs
+  on.
 
-See ``docs/TUNING.md`` and ``python -m repro.tools.kernel_tuner``.
+See ``docs/TUNING.md``, ``docs/ROBUSTNESS.md`` and
+``python -m repro.tools.kernel_tuner``.
 """
 
 from .cache import TuneCache
+from .faults import (
+    FAULT_KINDS,
+    CompileFault,
+    Fault,
+    FaultInjector,
+    InjectedError,
+    Injection,
+    SimFault,
+    TimeoutFault,
+    UnknownFault,
+    VerifyFault,
+    WorkerCrash,
+    classify_error,
+)
 from .schedule import (
     ScheduleConfig,
     ScheduleError,
@@ -32,16 +54,38 @@ from .schedule import (
     save_schedules,
     schedule_table,
 )
-from .search import CandidateOutcome, TuneResult, evaluate_config, tune_kernel
+from .search import (
+    CandidateOutcome,
+    SearchInterrupted,
+    TuneResult,
+    evaluate_config,
+    tune_kernel,
+)
+from .workers import HardenedPool, PoolConfig
 
 __all__ = [
+    "FAULT_KINDS",
     "CandidateOutcome",
+    "CompileFault",
+    "Fault",
+    "FaultInjector",
+    "HardenedPool",
+    "InjectedError",
+    "Injection",
+    "PoolConfig",
     "ScheduleConfig",
     "ScheduleError",
     "ScheduleSpace",
+    "SearchInterrupted",
+    "SimFault",
+    "TimeoutFault",
     "TuneCache",
     "TuneResult",
     "TunedSchedule",
+    "UnknownFault",
+    "VerifyFault",
+    "WorkerCrash",
+    "classify_error",
     "evaluate_config",
     "load_schedules",
     "save_schedules",

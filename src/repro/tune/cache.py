@@ -1,4 +1,4 @@
-"""Persistent cycle cache for schedule-space search.
+"""Crash-safe persistent cycle cache for schedule-space search.
 
 Cycle counts on the simulator are deterministic: the engine's timing
 model is data-independent, so one (kernel, shape, schedule config,
@@ -6,64 +6,177 @@ engine version) quadruple always scores the same.  That makes tuning
 perfectly cacheable — repeated tuner runs, CI smoke jobs, and network-
 wide sweeps only pay for configs they have never measured.
 
-The store is a flat JSON file::
+The store is a flat JSON file (schema 2)::
 
-    {"schema": 1, "entries": {"<key>": <cycles | null>, ...}}
+    {"schema": 2,
+     "entries": {"<key>": <cycles>,
+                 "<key>": {"fault": {"kind": "compile", ...}}, ...}}
 
-``null`` records a config that *failed* (did not compile, or produced
-wrong results) so reruns skip it without recompiling.  The engine
-version is part of every key — a timing-model change silently starts
-a fresh keyspace instead of serving stale cycles.  A missing or
-corrupt file is treated as empty, never an error.
+A *failed* config is cached as its structured
+:class:`~repro.tune.faults.Fault` — kind, stage, message, attempt
+count — never as a bare ``null``, so reruns skip it with full
+provenance.  Only **deterministic** faults (compile / verify / sim)
+are persisted; transient ones (worker crashes, timeouts) are not,
+because a later run on a healthier machine may well succeed.  Schema-1
+files (``null`` failures) migrate on load: the ``null`` becomes an
+``unknown``-kind fault.  The engine version is part of every key — a
+timing-model change silently starts a fresh keyspace instead of
+serving stale cycles.
+
+Durability guarantees:
+
+* **corruption is quarantined, never silently eaten** — an unreadable
+  file is renamed to ``<path>.corrupt`` with a warning, so the bytes
+  survive for inspection and the next save cannot clobber the only
+  evidence;
+* **merge-on-save** — ``save()`` takes an exclusive ``flock`` on a
+  sidecar lock file, re-reads the store, unions the on-disk entries
+  with this process's, fsyncs, and atomically renames.  Two tuner
+  processes sharing one store therefore *union* their work instead of
+  last-writer-wins clobbering;
+* **checkpointing** — with ``checkpoint_every=N`` the cache persists
+  itself every N new measurements, so an interrupt loses at most one
+  batch of work.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import threading
+import warnings
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Sequence
 
 from ..snitch.engine import ENGINE_VERSION
+from .faults import Fault, UnknownFault
 from .schedule import ScheduleConfig
 
-#: Internal miss sentinel (a cached failure is a *hit* with None).
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
+
+#: Internal miss sentinel (a cached failure is a *hit* with a fault).
 _MISS = object()
+
+
+@contextmanager
+def _exclusive_lock(path: Path):
+    """Advisory exclusive lock on ``<path>.lock`` (no-op sans fcntl)."""
+    if fcntl is None:
+        yield
+        return
+    lock_path = path.with_suffix(path.suffix + ".lock")
+    with open(lock_path, "w") as handle:
+        fcntl.flock(handle, fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(handle, fcntl.LOCK_UN)
+
+
+def _parse_entries(payload) -> dict[str, int | Fault] | None:
+    """Entries of a schema-1 or schema-2 payload; None if unreadable.
+
+    Schema-1 ``null`` failures migrate to an ``unknown`` fault (the
+    old format recorded no provenance).  Individually malformed
+    entries are dropped; a structurally alien payload returns None so
+    the caller can quarantine the file.
+    """
+    if not isinstance(payload, dict):
+        return None
+    raw = payload.get("entries")
+    if not isinstance(raw, dict):
+        return None
+    schema = payload.get("schema")
+    entries: dict[str, int | Fault] = {}
+    if schema == 1:
+        for key, cycles in raw.items():
+            if cycles is None:
+                entries[str(key)] = UnknownFault(
+                    message=(
+                        "schema-1 cached failure (no provenance "
+                        "recorded)"
+                    ),
+                    candidate=None,
+                )
+            elif isinstance(cycles, int) and not isinstance(cycles, bool):
+                entries[str(key)] = cycles
+        return entries
+    if schema == TuneCache.SCHEMA:
+        for key, value in raw.items():
+            if isinstance(value, bool):
+                continue
+            if isinstance(value, int):
+                entries[str(key)] = value
+            elif isinstance(value, dict):
+                try:
+                    entries[str(key)] = Fault.from_json(value["fault"])
+                except (KeyError, ValueError):
+                    continue
+        return entries
+    return None
 
 
 class TuneCache:
     """Thread-safe (kernel, shape, config, engine) -> cycles store."""
 
-    SCHEMA = 1
+    SCHEMA = 2
 
-    def __init__(self, path: str | Path | None = None):
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        checkpoint_every: int | None = None,
+    ):
         #: Backing file; None = in-memory only (still deduplicates
         #: within one tuning run).
         self.path = Path(path) if path is not None else None
+        #: Auto-save after this many new measurements (None = only on
+        #: explicit :meth:`save`).
+        self.checkpoint_every = checkpoint_every
         self.hits = 0
         self.misses = 0
         self._lock = threading.Lock()
-        self._entries: dict[str, int | None] = {}
+        self._entries: dict[str, int | Fault] = {}
         self._dirty = False
+        self._puts_since_save = 0
         if self.path is not None:
             self._entries = self._load()
 
-    def _load(self) -> dict[str, int | None]:
+    def _load(self) -> dict[str, int | Fault]:
         try:
-            payload = json.loads(self.path.read_text())
-        except (OSError, ValueError):
+            text = self.path.read_text()
+        except OSError:
+            return {}  # missing file: a fresh store
+        except ValueError:  # undecodable bytes: corrupt
+            self._quarantine()
             return {}
-        if (
-            not isinstance(payload, dict)
-            or payload.get("schema") != self.SCHEMA
-            or not isinstance(payload.get("entries"), dict)
-        ):
+        try:
+            payload = json.loads(text)
+        except ValueError:
+            payload = None
+        entries = _parse_entries(payload)
+        if entries is None:
+            self._quarantine()
             return {}
-        entries: dict[str, int | None] = {}
-        for key, cycles in payload["entries"].items():
-            if cycles is None or isinstance(cycles, int):
-                entries[str(key)] = cycles
         return entries
+
+    def _quarantine(self) -> None:
+        """Set a corrupt store aside as ``<path>.corrupt`` + warn."""
+        corrupt = self.path.with_suffix(self.path.suffix + ".corrupt")
+        try:
+            self.path.replace(corrupt)
+            where = str(corrupt)
+        except OSError:
+            where = "(quarantine rename failed; file left in place)"
+        warnings.warn(
+            f"tune cache {self.path} is corrupt; quarantined to "
+            f"{where} and starting from an empty store",
+            RuntimeWarning,
+            stacklevel=4,
+        )
 
     @staticmethod
     def key(
@@ -76,38 +189,108 @@ class TuneCache:
         shape = "x".join(str(int(s)) for s in sizes)
         return f"{kernel}/{shape}/{config.key()}/engine={engine_version}"
 
-    def lookup(self, key: str) -> tuple[bool, int | None]:
-        """(hit, cycles).  A recorded failure is a hit with None."""
+    def lookup(self, key: str) -> tuple[bool, int | None, Fault | None]:
+        """(hit, cycles, fault).  A recorded failure is a hit with a
+        structured fault and ``cycles is None``."""
         with self._lock:
-            cycles = self._entries.get(key, _MISS)
-            if cycles is _MISS:
+            value = self._entries.get(key, _MISS)
+            if value is _MISS:
                 self.misses += 1
-                return False, None
+                return False, None, None
             self.hits += 1
-            return True, cycles
+            if isinstance(value, Fault):
+                return True, None, value
+            return True, value, None
 
     def put(self, key: str, cycles: int | None) -> None:
-        """Record a measurement (or a failure as None)."""
+        """Record a measurement.
+
+        ``None`` (the legacy failure form) is upgraded to an
+        ``unknown`` fault; prefer :meth:`put_failure` with a real one.
+        """
+        if cycles is None:
+            self.put_failure(
+                key,
+                UnknownFault(message="recorded failure (no provenance)"),
+            )
+            return
+        self._store(key, cycles)
+
+    def put_failure(self, key: str, fault: Fault) -> None:
+        """Record a config's structured failure."""
+        self._store(key, fault)
+
+    def _store(self, key: str, value: int | Fault) -> None:
         with self._lock:
-            self._entries[key] = cycles
+            self._entries[key] = value
             self._dirty = True
+            self._puts_since_save += 1
+            if (
+                self.checkpoint_every is not None
+                and self._puts_since_save >= self.checkpoint_every
+                and self.path is not None
+            ):
+                self._save_locked()
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def save(self) -> None:
-        """Atomically persist the store (no-op when in-memory/clean)."""
+        """Merge-union persist the store (no-op when in-memory/clean).
+
+        Concurrency-safe: under an exclusive file lock the current
+        on-disk entries are re-read and unioned with this process's
+        (ours win on key collisions — the oracle is deterministic, so
+        collisions agree anyway), then written through a
+        fsync + atomic-rename sequence.
+        """
         if self.path is None:
             return
         with self._lock:
-            if not self._dirty:
-                return
-            payload = {"schema": self.SCHEMA, "entries": self._entries}
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = self.path.with_suffix(self.path.suffix + ".tmp")
-            tmp.write_text(json.dumps(payload, indent=2) + "\n")
+            self._save_locked()
+
+    def _save_locked(self) -> None:
+        if not self._dirty:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with _exclusive_lock(self.path):
+            # Merge-on-save: union entries another process persisted
+            # since our load, instead of last-writer-wins clobbering.
+            try:
+                disk = _parse_entries(json.loads(self.path.read_text()))
+            except (OSError, ValueError):
+                disk = None
+            if disk:
+                merged = dict(disk)
+                merged.update(self._entries)
+                self._entries = merged
+            serialized = {
+                key: (
+                    {"fault": value.to_json()}
+                    if isinstance(value, Fault)
+                    else value
+                )
+                for key, value in sorted(self._entries.items())
+            }
+            payload = {"schema": self.SCHEMA, "entries": serialized}
+            tmp = self.path.with_suffix(
+                f"{self.path.suffix}.{os.getpid()}.tmp"
+            )
+            with open(tmp, "w") as handle:
+                handle.write(json.dumps(payload, indent=2) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
             tmp.replace(self.path)
-            self._dirty = False
+            try:
+                dir_fd = os.open(self.path.parent, os.O_RDONLY)
+                try:
+                    os.fsync(dir_fd)
+                finally:
+                    os.close(dir_fd)
+            except OSError:  # pragma: no cover - fs without dir fsync
+                pass
+        self._dirty = False
+        self._puts_since_save = 0
 
 
 __all__ = ["TuneCache"]

@@ -13,22 +13,26 @@ strategies share one evaluation harness:
   time until a full sweep finds nothing better or the budget runs out.
 
 Candidates evaluate serially by default; ``workers > 1`` fans a batch
-out across a ``concurrent.futures`` process pool (compile + simulate
-is pure-Python CPU work, so threads would serialize on the GIL;
+out across the fault-tolerant
+:class:`~repro.tune.workers.HardenedPool` (compile + simulate is
+pure-Python CPU work, so threads would serialize on the GIL;
 fork-style workers inherit the loaded package for free, and platforms
-without fork stay serial).  Worth it once per-candidate work clearly
-exceeds the ~fraction-of-a-second pool startup — large kernels or
-big budgets; the Table 1 micro-shapes score faster serially.  Every
-measurement goes through the persistent
-:class:`~repro.tune.cache.TuneCache`, making repeated tuning runs
-incremental.  The compiler default is always measured, so the winning
-schedule is never worse than the untuned pipeline.
+without fork stay serial).  Every failure — compile error, oracle
+mismatch, killed worker, blown deadline — surfaces as a structured
+:class:`~repro.tune.faults.Fault` on the candidate's outcome;
+transient faults are retried by the pool, deterministic ones are
+persisted in the :class:`~repro.tune.cache.TuneCache` so reruns skip
+them with provenance.  The compiler default is always measured, so the
+winning schedule is never worse than the untuned pipeline.  ``Ctrl-C``
+raises :class:`SearchInterrupted` carrying the best-so-far partial
+result, after checkpointing the cache.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-from concurrent.futures import ProcessPoolExecutor
+import os
+import signal
+import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from random import Random
@@ -40,6 +44,7 @@ from .. import api
 from ..compiler import Compiler
 from ..snitch.cluster import run_row_partitioned
 from .cache import TuneCache
+from .faults import Fault, FaultInjector, InjectedError, classify_error
 from .schedule import (
     ScheduleConfig,
     ScheduleError,
@@ -48,27 +53,81 @@ from .schedule import (
     cluster_plan,
     resolve_kernel,
 )
+from .workers import HardenedPool, PoolConfig
 
 STRATEGIES = ("exhaustive", "random", "greedy")
 
-#: Parallel evaluation uses fork-style workers: they inherit the
-#: already-imported package (no per-worker re-import) and the task
-#: payload is tiny.  Platforms without fork evaluate serially.
-_FORK_AVAILABLE = "fork" in multiprocessing.get_all_start_methods()
+
+class SearchInterrupted(Exception):
+    """Tuning was interrupted (Ctrl-C / SIGTERM / injected interrupt).
+
+    ``partial`` carries the best-so-far :class:`TuneResult` when the
+    default schedule had already been scored, else ``None``.  The
+    persistent cache has been checkpointed either way.
+    """
+
+    def __init__(self, message: str, partial: "TuneResult | None" = None):
+        super().__init__(message)
+        self.partial = partial
 
 
-def _measure_task(
-    task: tuple,
-) -> tuple[int | None, str | None]:
-    """(cycles, error) for one config — picklable pool work item."""
-    kernel, sizes, config, seed, validate = task
+def _apply_injection(injection, serial: bool, deadline) -> None:
+    """Enact one planned fault at the top of a measurement."""
+    if injection.action == "crash":
+        if not serial:  # belt: the injector never returns crash serially
+            os.kill(os.getpid(), signal.SIGKILL)
+        return
+    if injection.action == "delay":
+        if serial and deadline is not None and injection.value >= deadline:
+            # A serial sleep has no watchdog to cut it short; model the
+            # outcome (deadline blown) without actually burning the
+            # wall-clock.
+            from ..snitch.machine import DeadlineExceeded
+
+            raise DeadlineExceeded(
+                f"injected {injection.value:g}s delay exceeded the "
+                f"{deadline:g}s deadline"
+            )
+        time.sleep(injection.value)
+        return
+    if injection.action == "raise":
+        raise InjectedError("injected mid-measure failure")
+    if injection.action == "interrupt":
+        raise KeyboardInterrupt
+
+
+def _measure_task(task) -> tuple[int | None, dict | None]:
+    """(cycles, fault_json) for one config — the pool's work item.
+
+    Never raises (except ``KeyboardInterrupt``): every failure is
+    classified into the fault taxonomy so the pool can apply retry
+    policy and the cache can persist provenance.
+    """
+    payload, injection, serial = task
+    kernel, sizes, config, seed, validate, deadline = payload
+    stage: list[str] = ["inject"] if injection is not None else []
     try:
+        if injection is not None:
+            _apply_injection(injection, serial, deadline)
         cycles = evaluate_config(
-            kernel, sizes, config, seed=seed, validate=validate
+            kernel,
+            sizes,
+            config,
+            seed=seed,
+            validate=validate,
+            deadline_seconds=deadline,
+            stage_out=stage,
         )
         return cycles, None
-    except Exception as error:  # record, don't rank
-        return None, f"{type(error).__name__}: {error}"
+    except KeyboardInterrupt:
+        raise
+    except Exception as error:  # classify, don't rank
+        fault = classify_error(
+            error,
+            stage=stage[0] if stage else None,
+            candidate=config.key(),
+        )
+        return None, fault.to_json()
 
 
 def _validate_arrays(kernel: str, arrays, expected) -> None:
@@ -86,6 +145,8 @@ def evaluate_config(
     config: ScheduleConfig,
     seed: int = 0,
     validate: bool = True,
+    deadline_seconds: float | None = None,
+    stage_out: list[str] | None = None,
 ) -> int:
     """The cycle oracle: measured cycles of one schedule config.
 
@@ -95,15 +156,31 @@ def evaluate_config(
     core.  Raises (``ScheduleError`` or the underlying compiler error)
     when the config does not compile or fails validation — the search
     records such configs as invalid rather than ranking them.
+
+    ``deadline_seconds`` arms the simulator's cooperative wall-clock
+    watchdog.  ``stage_out``, when given, is overwritten in place with
+    the evaluation stage currently executing (``compile`` /
+    ``simulate`` / ``verify``) so a caller catching an exception can
+    attribute it to the right layer.
     """
+
+    def _stage(name: str) -> None:
+        if stage_out is not None:
+            stage_out[:] = [name]
+
+    _stage("compile")
     builder, sizes = resolve_kernel(kernel, sizes)
     spec_text = config.pipeline_spec()
     module, kernel_spec = builder(*sizes)
     arguments = kernel_spec.random_arguments(seed=seed)
     if config.num_cores == 1:
         compiled = Compiler(spec_text).compile(module)
-        run = api.run_kernel(compiled, arguments)
+        _stage("simulate")
+        run = api.run_kernel(
+            compiled, arguments, deadline_seconds=deadline_seconds
+        )
         if validate:
+            _stage("verify")
             _validate_arrays(
                 kernel, run.arrays, kernel_spec.reference(*arguments)
             )
@@ -113,17 +190,24 @@ def evaluate_config(
         raise ScheduleError(
             f"kernel {kernel!r} has no known row-partitioning"
         )
+
+    def _compile_chunk(chunk_module, _spec):
+        _stage("compile")
+        compiled = Compiler(spec_text).compile(chunk_module)
+        _stage("simulate")
+        return compiled
+
     cluster = run_row_partitioned(
         plan.chunk_builder,
-        lambda chunk_module, _spec: Compiler(spec_text).compile(
-            chunk_module
-        ),
+        _compile_chunk,
         plan.shape,
         config.num_cores,
         list(arguments),
         row_parallel_args=list(plan.row_parallel_args),
+        deadline_seconds=deadline_seconds,
     )
     if validate:
+        _stage("verify")
         _validate_arrays(
             kernel, cluster.arrays, kernel_spec.reference(*arguments)
         )
@@ -140,11 +224,17 @@ class CandidateOutcome:
     cycles: int | None
     #: Whether the score came from the persistent cache.
     cached: bool
-    error: str | None = None
+    #: Structured failure (None for a successful measurement).
+    fault: Fault | None = None
 
     @property
     def valid(self) -> bool:
         return self.cycles is not None
+
+    @property
+    def error(self) -> str | None:
+        """Legacy one-line error string (from the fault)."""
+        return self.fault.describe() if self.fault is not None else None
 
 
 @dataclass
@@ -160,6 +250,14 @@ class TuneResult:
     #: Persistent-cache traffic of this run only.
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Pool fault-tolerance log: respawns, retries, watchdog kills,
+    #: degradations.
+    events: list[str] = field(default_factory=list)
+    #: Whether evaluation fell back to serial (fork unavailable or the
+    #: pool died repeatedly).
+    degraded: bool = False
+    #: Whether the search was cut short (the result is best-so-far).
+    interrupted: bool = False
 
     @property
     def default_cycles(self) -> int:
@@ -169,6 +267,11 @@ class TuneResult:
     def candidates_evaluated(self) -> int:
         return len(self.candidates)
 
+    @property
+    def faults(self) -> list[Fault]:
+        """Structured faults of every failed candidate."""
+        return [o.fault for o in self.candidates if o.fault is not None]
+
     def report(self) -> str:
         """A per-candidate table plus the winning schedule."""
         lines = [
@@ -176,7 +279,8 @@ class TuneResult:
             f"{self.candidates_evaluated} candidates "
             f"({self.strategy}, seed {self.seed}), "
             f"default {self.default_cycles} -> best {self.best.cycles} "
-            f"cycles ({self.best.speedup:.2f}x)",
+            f"cycles ({self.best.speedup:.2f}x)"
+            + (" [interrupted: partial result]" if self.interrupted else ""),
             f"{'config':<36} {'cycles':>8} {'source':>7}",
         ]
         for outcome in sorted(
@@ -185,9 +289,10 @@ class TuneResult:
         ):
             cycles = "failed" if not outcome.valid else str(outcome.cycles)
             source = "cache" if outcome.cached else "run"
-            lines.append(
-                f"{outcome.config.key():<36} {cycles:>8} {source:>7}"
-            )
+            line = f"{outcome.config.key():<36} {cycles:>8} {source:>7}"
+            if outcome.fault is not None:
+                line += f"  [{outcome.fault.kind}]"
+            lines.append(line)
         cores = self.best.config.num_cores
         lines.append(
             f"winning spec: {self.best.pipeline_spec}"
@@ -198,11 +303,14 @@ class TuneResult:
                 else ""
             )
         )
+        if self.events:
+            lines.append("pool events:")
+            lines.extend(f"  - {event}" for event in self.events)
         return "\n".join(lines)
 
 
 class _SearchDriver:
-    """Shared evaluation harness: budget, dedup, cache, parallelism."""
+    """Shared evaluation harness: budget, dedup, cache, fault policy."""
 
     def __init__(
         self,
@@ -212,6 +320,9 @@ class _SearchDriver:
         validate: bool,
         workers: int | None,
         budget: int | None,
+        deadline: float | None = None,
+        retries: int = 2,
+        injector: FaultInjector | None = None,
     ):
         self.space = space
         self.cache = cache
@@ -219,11 +330,32 @@ class _SearchDriver:
         self.validate = validate
         self.workers = 1 if workers is None else max(1, workers)
         self.budget = budget
+        self.deadline = deadline
+        self.injector = injector
         self.count = 0
         self.ordered: list[CandidateOutcome] = []
         self.by_key: dict[str, CandidateOutcome] = {}
         self._hits0 = cache.hits
         self._misses0 = cache.misses
+        #: Measurement sequence number: counts *measured* candidates in
+        #: dispatch order (cache hits do not consume one) — the fault
+        #: injector's key.
+        self._seq = 0
+        self.pool = HardenedPool(
+            _measure_task,
+            PoolConfig(
+                workers=self.workers, deadline=deadline, retries=retries
+            ),
+            decorate=self._decorate,
+        )
+
+    def _decorate(self, payload, seq, attempt, serial):
+        injection = (
+            self.injector.for_attempt(seq, attempt, serial=serial)
+            if self.injector is not None
+            else None
+        )
+        return (payload, injection, serial)
 
     def _key(self, config: ScheduleConfig) -> str:
         return TuneCache.key(self.space.kernel, self.space.sizes, config)
@@ -236,7 +368,7 @@ class _SearchDriver:
     def score(
         self, configs: Sequence[ScheduleConfig]
     ) -> list[CandidateOutcome]:
-        """Score configs (budget-capped, deduplicated, parallel)."""
+        """Score configs (budget-capped, deduplicated, fault-tolerant)."""
         admitted: list[tuple[str, ScheduleConfig]] = []
         for config in configs:
             key = self._key(config)
@@ -252,7 +384,7 @@ class _SearchDriver:
 
         pending: list[tuple[str, ScheduleConfig]] = []
         for key, config in admitted:
-            hit, cycles = self.cache.lookup(key)
+            hit, cycles, fault = self.cache.lookup(key)
             if hit:
                 self._record(
                     key,
@@ -261,45 +393,66 @@ class _SearchDriver:
                         spec=config.pipeline_spec(),
                         cycles=cycles,
                         cached=True,
-                        error=(
-                            "cached failure" if cycles is None else None
-                        ),
+                        fault=fault,
                     ),
                 )
             else:
                 pending.append((key, config))
 
-        tasks = [
-            (
+        tasks = []
+        for _, config in pending:
+            payload = (
                 self.space.kernel,
                 self.space.sizes,
                 config,
                 self.seed,
                 self.validate,
+                self.deadline,
             )
-            for _, config in pending
-        ]
-        if len(pending) > 1 and self.workers > 1 and _FORK_AVAILABLE:
-            with ProcessPoolExecutor(
-                max_workers=min(self.workers, len(pending)),
-                mp_context=multiprocessing.get_context("fork"),
-            ) as pool:
-                measured = list(pool.map(_measure_task, tasks))
-        else:
-            measured = [_measure_task(task) for task in tasks]
-        for (key, config), (cycles, error) in zip(pending, measured):
-            self.cache.put(key, cycles)
-            self._record(
-                key,
-                CandidateOutcome(
-                    config=config,
-                    spec=config.pipeline_spec(),
-                    cycles=cycles,
-                    cached=False,
-                    error=error,
-                ),
-            )
+            tasks.append((self._seq, config.key(), payload))
+            self._seq += 1
+        staged: dict[int, tuple] = {}
+        try:
+            measured = self.pool.map(tasks, on_result=staged.__setitem__)
+        except KeyboardInterrupt:
+            # Bank whatever finished before the interrupt, so the
+            # partial result (and the cache checkpoint) keep it.
+            for pos in sorted(staged):
+                key, config = pending[pos]
+                self._absorb(key, config, staged[pos])
+            raise
+        for (key, config), result in zip(pending, measured):
+            self._absorb(key, config, result)
+        # Checkpoint after every batch: an interrupt or crash later
+        # loses at most one batch of measurements.
+        if pending:
+            self.cache.save()
         return [self.by_key[key] for key, _ in admitted]
+
+    def _absorb(
+        self, key: str, config: ScheduleConfig, result: tuple
+    ) -> None:
+        """Record one fresh measurement and apply the cache policy."""
+        cycles, fault_json = result
+        fault = (
+            Fault.from_json(fault_json) if fault_json is not None else None
+        )
+        if fault is None:
+            self.cache.put(key, cycles)
+        elif not fault.retryable:
+            # Deterministic failures are worth remembering; transient
+            # ones (timeout, crash) may succeed next run.
+            self.cache.put_failure(key, fault)
+        self._record(
+            key,
+            CandidateOutcome(
+                config=config,
+                spec=config.pipeline_spec(),
+                cycles=cycles,
+                cached=False,
+                fault=fault,
+            ),
+        )
 
     def _record(self, key: str, outcome: CandidateOutcome) -> None:
         self.by_key[key] = outcome
@@ -361,7 +514,7 @@ class _SearchDriver:
 
     # -- result assembly -----------------------------------------------------
 
-    def finish(self, strategy: str) -> TuneResult:
+    def finish(self, strategy: str, interrupted: bool = False) -> TuneResult:
         default = next(
             (o for o in self.ordered if o.config.is_default), None
         )
@@ -392,6 +545,9 @@ class _SearchDriver:
             candidates=list(self.ordered),
             cache_hits=self.cache.hits - self._hits0,
             cache_misses=self.cache.misses - self._misses0,
+            events=list(self.pool.events),
+            degraded=self.pool.degraded,
+            interrupted=interrupted,
         )
 
 
@@ -405,6 +561,9 @@ def tune_kernel(
     workers: int | None = None,
     core_counts: Sequence[int] = (1,),
     validate: bool = True,
+    deadline: float | None = None,
+    retries: int = 2,
+    injector: FaultInjector | None = None,
 ) -> TuneResult:
     """Search a kernel's schedule space; returns the full result.
 
@@ -414,9 +573,21 @@ def tune_kernel(
     run is reproducible end to end.  ``cache`` may be a path (opened,
     used, and saved) or an existing :class:`TuneCache` (saved but kept
     open, so several kernels can share one store).  ``workers > 1``
-    evaluates each batch across fork-based worker processes — worth it
-    for large kernels or budgets; the default (serial) is fastest for
-    the Table 1 micro-shapes.
+    evaluates each batch across the fault-tolerant
+    :class:`~repro.tune.workers.HardenedPool` — worth it for large
+    kernels or budgets; the default (serial) is fastest for the Table 1
+    micro-shapes.
+
+    ``deadline`` bounds each candidate's wall-clock seconds: in a
+    worker the pool's watchdog SIGKILLs past-due candidates; serially
+    the engine's cooperative :class:`DeadlineExceeded` fires.
+    ``retries`` bounds extra dispatch attempts for transient faults
+    (crashes, timeouts).  ``injector`` installs a deterministic
+    fault-injection plan (testing / chaos drills).
+
+    An interrupt (Ctrl-C) checkpoints the cache and raises
+    :class:`SearchInterrupted` with the best-so-far partial result
+    attached.
     """
     if strategy not in STRATEGIES:
         raise ScheduleError(
@@ -428,21 +599,49 @@ def tune_kernel(
     space = ScheduleSpace.for_kernel(kernel, sizes, core_counts)
     if not isinstance(cache, TuneCache):
         cache = TuneCache(cache)
-    driver = _SearchDriver(space, cache, seed, validate, workers, budget)
-    if strategy == "exhaustive":
-        driver.run_exhaustive()
-    elif strategy == "random":
-        driver.run_random()
-    else:
-        driver.run_greedy()
-    result = driver.finish(strategy)
-    cache.save()
-    return result
+    driver = _SearchDriver(
+        space,
+        cache,
+        seed,
+        validate,
+        workers,
+        budget,
+        deadline=deadline,
+        retries=retries,
+        injector=injector,
+    )
+    try:
+        interrupted = False
+        try:
+            if strategy == "exhaustive":
+                driver.run_exhaustive()
+            elif strategy == "random":
+                driver.run_random()
+            else:
+                driver.run_greedy()
+        except KeyboardInterrupt:
+            interrupted = True
+        if interrupted:
+            partial = None
+            try:
+                partial = driver.finish(strategy, interrupted=True)
+            except ScheduleError:
+                pass  # default never scored: nothing to report
+            raise SearchInterrupted(
+                f"tuning {kernel} interrupted after "
+                f"{len(driver.ordered)} candidates",
+                partial=partial,
+            )
+        return driver.finish(strategy)
+    finally:
+        driver.pool.close()
+        cache.save()
 
 
 __all__ = [
     "STRATEGIES",
     "CandidateOutcome",
+    "SearchInterrupted",
     "TuneResult",
     "evaluate_config",
     "tune_kernel",

@@ -226,15 +226,19 @@ class TestCache:
         )
         assert stale != key
 
-    def test_corrupt_file_is_treated_as_empty(self, tmp_path):
+    def test_corrupt_file_is_quarantined(self, tmp_path):
         path = tmp_path / "cache.json"
         path.write_text("{not json")
-        cache = TuneCache(path)
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            cache = TuneCache(path)
         assert len(cache) == 0
+        # The corrupt bytes survive for inspection...
+        corrupt = path.with_suffix(".json.corrupt")
+        assert corrupt.read_text() == "{not json"
         result = tune_kernel("matmul", (4, 4, 4), cache=cache)
         assert result.cache_misses == 4
-        # And a clean save overwrote the corrupt file.
-        assert json.loads(path.read_text())["schema"] == 1
+        # ...and a clean save replaced the store.
+        assert json.loads(path.read_text())["schema"] == TuneCache.SCHEMA
 
     def test_in_memory_deduplicates_within_a_run(self):
         cache = TuneCache()
@@ -249,8 +253,10 @@ class TestCache:
         cache.put(key, None)
         cache.save()
         reopened = TuneCache(path)
-        hit, cycles = reopened.lookup(key)
+        hit, cycles, fault = reopened.lookup(key)
         assert hit and cycles is None
+        # Schema 2 never stores a bare null: the failure is structured.
+        assert fault is not None and fault.kind == "unknown"
 
 
 class TestTunedSchedule:
