@@ -1,0 +1,288 @@
+"""Compile-service benchmark: store hit-rates and submit latencies.
+
+Starts a real compile server (``repro.service.serve_forever``) on a
+Unix socket over a fresh content-addressed artifact store, then drives
+it with the Table 1 kernel suite plus every distinct NSNet2/AlexNet
+layer shape (the paper's two network kernel mixes):
+
+* **cold pass** — every request misses the store and is computed by
+  the worker tier; per-request submit-to-result latency is measured
+  client-side;
+* **warm pass** — the identical requests again; every one must be
+  served straight from the store (the bench asserts a >= 95% hit
+  rate, and a repeated ``batch`` call asserts 100%);
+* **rehydration fidelity** — for every Table 1 kernel, the kernel
+  rehydrated from its stored artifact must have *byte-identical*
+  assembly and an *identical* simulated cycle count to a fresh
+  compile.
+
+Run as a script to (re)generate ``results/BENCH_service.json``::
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+
+With ``BENCH_SERVICE_SMOKE=1`` only a three-kernel subset runs (CI
+uses this: the warm-pass assertions and the JSON schema are identical
+to the full profile).
+
+JSON schema (``schema`` = 1)::
+
+    {
+      "schema": 1, "smoke": false, "seed": 0, "engine_version": 1,
+      "workers": 1,
+      "requests": {"total": .., "compile": .., "measure": ..},
+      "cold": {"hit_rate": .., "sources": {"store": .., ...},
+               "latency_ms": {"p50": .., "p95": .., "p99": ..}},
+      "warm": {... same shape ...},
+      "batch_warm": {"jobs": .., "hit_rate": ..},
+      "rehydration": {"<kernel>": {"asm_identical": true,
+                                   "cycles_fresh": ..,
+                                   "cycles_rehydrated": ..}},
+      "server": {... final server stats ...}
+    }
+"""
+
+import json
+import os
+import sys
+import tempfile
+import threading
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(__file__), "..", "src")
+)
+
+from repro import api  # noqa: E402
+from repro.kernels import KERNEL_BUILDERS, networks  # noqa: E402
+from repro.service import (  # noqa: E402
+    ArtifactStore,
+    ServiceClient,
+    ServiceRequest,
+    serve_forever,
+)
+from repro.snitch.engine import ENGINE_VERSION  # noqa: E402
+from repro.tune.schedule import resolve_kernel  # noqa: E402
+
+RESULTS_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "results", "BENCH_service.json"
+)
+
+SEED = 0
+
+#: Table 1 kernels at representative (TCDM-friendly) shapes.
+PAPER_KERNELS = (
+    ("fill", (8, 16)),
+    ("sum", (8, 16)),
+    ("relu", (8, 16)),
+    ("conv3x3", (8, 8)),
+    ("max_pool3x3", (8, 8)),
+    ("sum_pool3x3", (8, 8)),
+    ("matmul", (4, 8, 8)),
+    ("matmul_t", (4, 8, 8)),
+    ("matvec", (8, 16)),
+)
+
+SMOKE_KERNELS = (
+    ("matmul", (4, 4, 4)),
+    ("relu", (4, 4)),
+    ("sum", (2, 4)),
+)
+
+_BUILDER_TO_KERNEL = {
+    builder.__name__: name
+    for name, (builder, _arity) in KERNEL_BUILDERS.items()
+}
+
+
+def build_requests(smoke: bool) -> list[ServiceRequest]:
+    """The benchmark's request mix: compiles + default measurements."""
+    shapes = list(SMOKE_KERNELS if smoke else PAPER_KERNELS)
+    if not smoke:
+        seen = set(shapes)
+        for layers in (
+            networks.nsnet2_layers(),
+            networks.alexnet_layers(),
+        ):
+            for layer in layers:
+                kernel = _BUILDER_TO_KERNEL[layer.builder.__name__]
+                key = (kernel, tuple(layer.sizes))
+                if key not in seen:
+                    seen.add(key)
+                    shapes.append(key)
+    requests = [
+        ServiceRequest("compile", kernel, sizes)
+        for kernel, sizes in shapes
+    ]
+    requests.extend(
+        ServiceRequest("measure", kernel, sizes, seed=SEED)
+        for kernel, sizes in shapes
+    )
+    return requests
+
+
+def percentile(samples: list[float], p: float) -> float:
+    ordered = sorted(samples)
+    index = max(
+        0, min(len(ordered) - 1, round(p / 100 * len(ordered)) - 1)
+    )
+    return ordered[index]
+
+
+def run_pass(client, requests) -> dict:
+    """Submit every request individually; summarize the pass."""
+    latencies = []
+    sources: dict[str, int] = {}
+    for request in requests:
+        t0 = time.perf_counter()
+        result = client.submit(request)
+        latencies.append((time.perf_counter() - t0) * 1000)
+        if result["fault"] is not None:
+            raise AssertionError(
+                f"{request.label()} faulted: {result['fault']}"
+            )
+        sources[result["source"]] = (
+            sources.get(result["source"], 0) + 1
+        )
+    return {
+        "hit_rate": sources.get("store", 0) / len(requests),
+        "sources": dict(sorted(sources.items())),
+        "latency_ms": {
+            "p50": round(percentile(latencies, 50), 3),
+            "p95": round(percentile(latencies, 95), 3),
+            "p99": round(percentile(latencies, 99), 3),
+        },
+    }
+
+
+def check_rehydration(store_dir, smoke: bool) -> dict:
+    """Stored vs. fresh compile: byte-identical asm, same cycles."""
+    store = ArtifactStore(store_dir)
+    report = {}
+    for kernel, sizes in SMOKE_KERNELS if smoke else PAPER_KERNELS:
+        builder, resolved = resolve_kernel(kernel, sizes)
+        module, spec = builder(*resolved)
+        fresh = api.compile_linalg(module)
+        module2, _ = builder(*resolved)
+        stored = api.compile_linalg(module2, store=store)
+        if not stored.rehydrated:
+            raise AssertionError(
+                f"{kernel} {sizes}: expected a store hit for a "
+                "kernel the server already compiled"
+            )
+        arguments = spec.random_arguments(seed=SEED)
+        cycles_fresh = api.run_kernel(fresh, arguments).trace.cycles
+        cycles_stored = api.run_kernel(
+            stored, spec.random_arguments(seed=SEED)
+        ).trace.cycles
+        entry = {
+            "asm_identical": fresh.asm == stored.asm,
+            "cycles_fresh": cycles_fresh,
+            "cycles_rehydrated": cycles_stored,
+        }
+        assert entry["asm_identical"], (
+            f"{kernel} {sizes}: rehydrated assembly differs"
+        )
+        assert cycles_fresh == cycles_stored, (
+            f"{kernel} {sizes}: rehydrated cycles differ "
+            f"({cycles_fresh} vs {cycles_stored})"
+        )
+        report[f"{kernel}/{'x'.join(map(str, resolved))}"] = entry
+        print(
+            f"rehydrate {kernel:<12} "
+            f"{'x'.join(map(str, resolved)):<10} "
+            f"asm identical, {cycles_fresh} cycles both ways"
+        )
+    return report
+
+
+def main() -> dict:
+    smoke = bool(os.environ.get("BENCH_SERVICE_SMOKE"))
+    workers = int(os.environ.get("BENCH_SERVICE_WORKERS", "1"))
+    requests = build_requests(smoke)
+    with tempfile.TemporaryDirectory() as tmp:
+        store_dir = os.path.join(tmp, "store")
+        socket_path = os.path.join(tmp, "service.sock")
+        ready = threading.Event()
+        server_thread = threading.Thread(
+            target=serve_forever,
+            args=(store_dir, socket_path),
+            kwargs={
+                "workers": workers,
+                "ready": lambda addr: ready.set(),
+            },
+            daemon=True,
+        )
+        server_thread.start()
+        if not ready.wait(30):
+            raise RuntimeError("server did not come up")
+        client = ServiceClient(socket_path)
+
+        cold = run_pass(client, requests)
+        print(
+            f"cold: {len(requests)} requests, "
+            f"hit rate {cold['hit_rate']:.0%}, "
+            f"p50 {cold['latency_ms']['p50']} ms, "
+            f"p99 {cold['latency_ms']['p99']} ms"
+        )
+        warm = run_pass(client, requests)
+        print(
+            f"warm: hit rate {warm['hit_rate']:.0%}, "
+            f"p50 {warm['latency_ms']['p50']} ms, "
+            f"p99 {warm['latency_ms']['p99']} ms"
+        )
+        assert warm["hit_rate"] >= 0.95, (
+            f"warm hit rate {warm['hit_rate']:.0%} < 95%: the store "
+            "is not serving repeated batches"
+        )
+
+        batch_results = client.batch(requests)
+        batch_hits = sum(
+            1 for r in batch_results if r["source"] == "store"
+        )
+        batch_warm = {
+            "jobs": len(batch_results),
+            "hit_rate": batch_hits / len(batch_results),
+        }
+        assert batch_warm["hit_rate"] == 1.0, (
+            "a repeated identical batch must be 100% store hits, got "
+            f"{batch_warm['hit_rate']:.0%}"
+        )
+        print(
+            f"batch (warm): {batch_warm['jobs']} jobs, "
+            f"{batch_warm['hit_rate']:.0%} store hits"
+        )
+
+        server_stats = client.stats()
+        client.shutdown()
+        server_thread.join(30)
+
+        rehydration = check_rehydration(store_dir, smoke)
+
+    compile_count = sum(1 for r in requests if r.kind == "compile")
+    results = {
+        "schema": 1,
+        "smoke": smoke,
+        "seed": SEED,
+        "engine_version": ENGINE_VERSION,
+        "workers": workers,
+        "requests": {
+            "total": len(requests),
+            "compile": compile_count,
+            "measure": len(requests) - compile_count,
+        },
+        "cold": cold,
+        "warm": warm,
+        "batch_warm": batch_warm,
+        "rehydration": rehydration,
+        "server": server_stats,
+    }
+    path = os.path.abspath(RESULTS_PATH)
+    with open(path, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {path}")
+    return results
+
+
+if __name__ == "__main__":
+    main()

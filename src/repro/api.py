@@ -33,35 +33,83 @@ class KernelRun:
     arrays: list[np.ndarray | None]
 
 
+def _store_fast_path(store, module: ModuleOp, compiler: Compiler, extra=""):
+    """(key, cached kernel or None) for a content-addressed compile.
+
+    The key is taken *before* compilation (the pipeline lowers the
+    module in place): sha256 of the canonical module text, the
+    compiler's canonical pipeline spec, and the engine version.
+    """
+    from .ir.printer import print_op
+    from .service.store import compile_key
+
+    key = compile_key(print_op(module), compiler.pipeline_spec + extra)
+    payload = store.get("kernel", key)
+    if payload is not None:
+        return key, CompiledKernel.from_json(payload)
+    return key, None
+
+
 def compile_linalg(
     module: ModuleOp,
     pipeline: str = "ours",
     unroll_factor: int | None = None,
     snapshots: bool = False,
+    store=None,
 ) -> CompiledKernel:
     """Compile a linalg-level module and emit assembly.
 
     ``pipeline`` is a named pipeline or any textual pipeline spec —
     a thin wrapper over :class:`repro.compiler.Compiler`.
+
+    ``store`` (an :class:`~repro.service.ArtifactStore`) opts into the
+    content-addressed fast path: the kernel is looked up by sha256 of
+    (canonical module text, canonical pipeline spec, engine version)
+    and rehydrated without recompiling on a hit; a miss compiles and
+    persists the artifact.  Rehydrated kernels carry no lowered module
+    (see :attr:`CompiledKernel.rehydrated`); requesting ``snapshots``
+    bypasses the store, since snapshots only exist on a fresh compile.
     """
-    return Compiler(
+    compiler = Compiler(
         pipeline,
         unroll_factor=unroll_factor,
         snapshots=snapshots,
-    ).compile(module)
+    )
+    if store is None or snapshots:
+        return compiler.compile(module)
+    key, cached = _store_fast_path(store, module, compiler)
+    if cached is not None:
+        return cached
+    compiled = compiler.compile(module)
+    store.put("kernel", key, compiled.to_json())
+    return compiled
 
 
-def compile_lowlevel(module: ModuleOp, entry: str) -> CompiledKernel:
+def compile_lowlevel(
+    module: ModuleOp, entry: str, store=None
+) -> CompiledKernel:
     """Compile a handwritten dialect-level kernel (paper Section 4.2).
 
     The module already contains ``rv_func``/``snitch_stream``/
     ``rv_snitch`` IR, possibly partially register-allocated; only the
     backend stages of the ``"lowlevel"`` named pipeline run: stream
     lowering, register allocation, loop flattening, emission.
+
+    ``store`` opts into the same content-addressed fast path as
+    :func:`compile_linalg` (the entry symbol joins the key, since it
+    is an input to compilation here).
     """
-    return Compiler(
-        "lowlevel", verify_input=False
-    ).compile(module, entry=entry)
+    compiler = Compiler("lowlevel", verify_input=False)
+    if store is None:
+        return compiler.compile(module, entry=entry)
+    key, cached = _store_fast_path(
+        store, module, compiler, extra=f"|entry={entry}"
+    )
+    if cached is not None:
+        return cached
+    compiled = compiler.compile(module, entry=entry)
+    store.put("kernel", key, compiled.to_json())
+    return compiled
 
 
 def run_kernel(

@@ -44,10 +44,22 @@ from .transforms.pipelines import build_pipeline
 
 @dataclass
 class CompiledKernel:
-    """A kernel compiled down to Snitch assembly."""
+    """A kernel compiled down to Snitch assembly.
 
-    #: The lowered module (rv-level IR, registers allocated).
-    module: ModuleOp
+    Round-trippable: :meth:`to_json` serializes everything execution
+    needs (assembly, entry symbol, pass timings/stats) and
+    :meth:`from_json` rehydrates a runnable kernel *without
+    recompiling* — the content-addressed artifact store
+    (:mod:`repro.service.store`) persists kernels in exactly this
+    form.  A rehydrated kernel has no lowered module
+    (:attr:`rehydrated` is true), so IR-level introspection such as
+    :meth:`register_usage` is unavailable on it; simulation is not —
+    :attr:`program` assembles from the stored text either way.
+    """
+
+    #: The lowered module (rv-level IR, registers allocated); None on
+    #: a kernel rehydrated from a stored artifact.
+    module: ModuleOp | None
     #: The emitted assembly text.
     asm: str
     #: Entry symbol.
@@ -73,12 +85,60 @@ class CompiledKernel:
         """
         return assemble(self.asm)
 
+    @property
+    def rehydrated(self) -> bool:
+        """Whether this kernel came from a stored artifact (no IR)."""
+        return self.module is None
+
     def register_usage(self) -> tuple[int, int]:
         """(FP, integer) registers used — the paper's Table 2 metric."""
+        if self.module is None:
+            raise ValueError(
+                "register_usage needs the lowered module; this kernel "
+                "was rehydrated from a stored artifact (assembly only)"
+            )
         for op in self.module.walk():
             if isinstance(op, riscv_func.FuncOp):
                 return count_used_registers(op)
         raise ValueError("no function in compiled module")
+
+    def to_json(self) -> dict:
+        """Serialize for the artifact store (module text excluded —
+        the store key already content-addresses the *input* module;
+        the lowered IR is recomputable and large)."""
+        return {
+            "asm": self.asm,
+            "entry": self.entry,
+            "pass_timings": [
+                [name, seconds] for name, seconds in self.pass_timings
+            ],
+            "pass_stats": [
+                [name, dict(counters)]
+                for name, counters in self.pass_stats
+            ],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "CompiledKernel":
+        """Rehydrate a kernel from its stored artifact form."""
+        try:
+            return cls(
+                module=None,
+                asm=data["asm"],
+                entry=data["entry"],
+                pass_timings=[
+                    (str(name), float(seconds))
+                    for name, seconds in data.get("pass_timings", [])
+                ],
+                pass_stats=[
+                    (str(name), dict(counters))
+                    for name, counters in data.get("pass_stats", [])
+                ],
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise ValueError(
+                f"malformed CompiledKernel artifact: {error}"
+            ) from None
 
 
 class Compiler:

@@ -1,0 +1,45 @@
+"""Compile-and-tune as a service.
+
+The multi-level compilation flow is deterministic: one (canonical
+module text, pipeline spec, engine version) triple always yields the
+same assembly, pass statistics, and simulated cycle count.  This
+package turns that determinism into a serving layer:
+
+* :mod:`repro.service.store` — :class:`ArtifactStore`, a
+  content-addressed on-disk store for *any* compilation artifact
+  (compiled kernels, cycle measurements, tuned schedules), keyed by
+  sha256 of the inputs that determine it, with per-artifact integrity
+  hashes, quarantine of corrupt entries, flock + atomic-rename writes,
+  and an LRU size cap;
+* :mod:`repro.service.server` — :class:`CompileServer`, a long-lived
+  batch server: store-first request handling, single-flight
+  deduplication of identical in-flight requests, a
+  :class:`~repro.tune.workers.HardenedPool` worker tier for compile
+  and simulate jobs, and per-request structured fault reporting via
+  the :mod:`repro.tune.faults` taxonomy;
+* :mod:`repro.service.client` — the wire protocol: a Unix-socket
+  ``serve_forever`` loop and :class:`ServiceClient` for talking to a
+  server in another process.
+
+``api.compile_linalg``/``api.compile_lowlevel`` accept ``store=`` for
+an opt-in content-addressed fast path, ``tune_kernel`` reads and
+writes :class:`~repro.tune.schedule.TunedSchedule` artifacts through
+the same store, and ``python -m repro.tools.kernel_service`` is the
+CLI (``serve`` / ``submit`` / ``batch`` / ``stats`` / ``gc``).
+
+See ``docs/SERVICE.md``.
+"""
+
+from .client import ServiceClient, serve_forever
+from .server import CompileServer, ServiceRequest, ServiceResult
+from .store import ArtifactStore, StoreError
+
+__all__ = [
+    "ArtifactStore",
+    "CompileServer",
+    "ServiceClient",
+    "ServiceRequest",
+    "ServiceResult",
+    "StoreError",
+    "serve_forever",
+]

@@ -1,0 +1,227 @@
+"""The compile service wire protocol: Unix-socket server loop + client.
+
+The transport is :mod:`multiprocessing.connection` over ``AF_UNIX`` —
+stdlib, authenticated by filesystem permissions on the socket path,
+and message-framed, so the protocol is plain dicts:
+
+    request:  {"op": "submit", "request": <ServiceRequest JSON>}
+              {"op": "batch", "requests": [<ServiceRequest JSON>, ...]}
+              {"op": "stats"} | {"op": "gc", "max_bytes": N|null}
+              {"op": "ping"} | {"op": "shutdown"}
+    reply:    {"ok": true, ...}   on success
+              {"ok": false, "error": "..."} on a protocol-level error
+
+Job-level failures are never protocol errors: a submit/batch reply is
+``ok`` with each result carrying its own structured ``fault`` (the
+:mod:`repro.tune.faults` taxonomy), so one bad kernel cannot take a
+batch down.
+
+Connections are served one at a time and requests within a connection
+sequentially — batching is the concurrency mechanism (one ``batch``
+fans out across the server's worker pool).  :class:`ServiceClient`
+opens a fresh connection per call, so many short-lived clients can
+share a server.
+"""
+
+from __future__ import annotations
+
+import os
+from multiprocessing.connection import Client, Listener
+from pathlib import Path
+
+from .server import CompileServer, ServiceRequest
+from .store import ArtifactStore
+
+
+class ServiceError(RuntimeError):
+    """A protocol-level failure reported by the server."""
+
+
+#: Connections that must not leak into forked children.  The server
+#: prestarts its worker pool before accepting (see ``CompileServer``),
+#: but a worker *respawned* after a crash forks mid-connection and
+#: inherits every open connection fd; when client and server share a
+#: process (server thread — the bench/CI pattern), the inherited
+#: client-side fd keeps the server's ``recv`` from ever seeing EOF.
+#: Forked children therefore close every tracked connection first
+#: thing.  The listener is deliberately NOT tracked: ``Listener.close``
+#: unlinks the socket file, which would yank it out from under the
+#: parent.
+_GUARDED_CONNECTIONS: set = set()
+_fork_guard_installed = False
+
+
+def _close_guarded_connections() -> None:
+    for connection in list(_GUARDED_CONNECTIONS):
+        try:
+            connection.close()
+        except OSError:
+            pass
+    _GUARDED_CONNECTIONS.clear()
+
+
+def _install_fork_guard() -> None:
+    global _fork_guard_installed
+    if not _fork_guard_installed:
+        os.register_at_fork(after_in_child=_close_guarded_connections)
+        _fork_guard_installed = True
+
+
+def _handle(server: CompileServer, message) -> tuple[dict, bool]:
+    """(reply, keep_serving) for one protocol message."""
+    if not isinstance(message, dict) or "op" not in message:
+        return {"ok": False, "error": "malformed message"}, True
+    op = message["op"]
+    if op == "ping":
+        return {"ok": True, "pong": True}, True
+    if op == "submit":
+        result = server.submit(
+            ServiceRequest.from_json(message["request"])
+        )
+        return {"ok": True, "result": result.to_json()}, True
+    if op == "batch":
+        results = server.batch(
+            [
+                ServiceRequest.from_json(request)
+                for request in message.get("requests", [])
+            ]
+        )
+        return {
+            "ok": True,
+            "results": [result.to_json() for result in results],
+        }, True
+    if op == "stats":
+        return {"ok": True, "stats": server.stats()}, True
+    if op == "gc":
+        report = server.store.gc(message.get("max_bytes"))
+        return {"ok": True, "gc": report}, True
+    if op == "shutdown":
+        return {"ok": True, "shutdown": True}, False
+    return {"ok": False, "error": f"unknown op {op!r}"}, True
+
+
+def serve_forever(
+    store_dir: str | Path,
+    socket_path: str | Path,
+    workers: int = 1,
+    deadline: float | None = None,
+    retries: int = 2,
+    max_bytes: int | None = None,
+    ready=None,
+) -> None:
+    """Run a compile server on a Unix socket until ``shutdown``.
+
+    ``ready``, if given, is called with the listener address once the
+    socket is accepting connections (used by tests and the CLI to
+    avoid connect races).  Removes the socket file on exit.
+    """
+    socket_path = Path(socket_path)
+    store = ArtifactStore(store_dir, max_bytes=max_bytes)
+    server = CompileServer(
+        store, workers=workers, deadline=deadline, retries=retries
+    )
+    listener = Listener(str(socket_path), family="AF_UNIX")
+    _install_fork_guard()
+    serving = True
+    try:
+        if ready is not None:
+            ready(str(socket_path))
+        while serving:
+            try:
+                connection = listener.accept()
+            except OSError:
+                break
+            _GUARDED_CONNECTIONS.add(connection)
+            try:
+                with connection:
+                    while True:
+                        try:
+                            message = connection.recv()
+                        except (EOFError, OSError):
+                            break
+                        try:
+                            reply, serving = _handle(server, message)
+                        except Exception as error:
+                            reply = {"ok": False, "error": str(error)}
+                        try:
+                            connection.send(reply)
+                        except (BrokenPipeError, OSError):
+                            break
+                        if not serving:
+                            break
+            finally:
+                _GUARDED_CONNECTIONS.discard(connection)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+        listener.close()
+        try:
+            os.unlink(socket_path)
+        except FileNotFoundError:
+            pass
+
+
+class ServiceClient:
+    """Talk to a :func:`serve_forever` server from another process.
+
+    One connection per call — stateless from the client's view::
+
+        client = ServiceClient("/tmp/repro.sock")
+        result = client.submit(
+            ServiceRequest("compile", "matmul", (4, 8, 8))
+        )
+        assert result["source"] in ("store", "computed")
+    """
+
+    def __init__(self, socket_path: str | Path):
+        self.address = str(socket_path)
+
+    def _call(self, message: dict) -> dict:
+        _install_fork_guard()
+        with Client(self.address, family="AF_UNIX") as connection:
+            _GUARDED_CONNECTIONS.add(connection)
+            try:
+                connection.send(message)
+                reply = connection.recv()
+            finally:
+                _GUARDED_CONNECTIONS.discard(connection)
+        if not isinstance(reply, dict):
+            raise ServiceError(f"malformed reply: {reply!r}")
+        if not reply.get("ok"):
+            raise ServiceError(
+                reply.get("error", "unknown server error")
+            )
+        return reply
+
+    def ping(self) -> bool:
+        return bool(self._call({"op": "ping"}).get("pong"))
+
+    def submit(self, request: ServiceRequest) -> dict:
+        """Resolve one request; returns the ServiceResult as JSON."""
+        reply = self._call(
+            {"op": "submit", "request": request.to_json()}
+        )
+        return reply["result"]
+
+    def batch(self, requests: list[ServiceRequest]) -> list[dict]:
+        """Resolve a batch; one result JSON per request, in order."""
+        reply = self._call(
+            {
+                "op": "batch",
+                "requests": [r.to_json() for r in requests],
+            }
+        )
+        return reply["results"]
+
+    def stats(self) -> dict:
+        return self._call({"op": "stats"})["stats"]
+
+    def gc(self, max_bytes: int | None = None) -> dict:
+        return self._call({"op": "gc", "max_bytes": max_bytes})["gc"]
+
+    def shutdown(self) -> None:
+        self._call({"op": "shutdown"})
+
+
+__all__ = ["ServiceClient", "ServiceError", "serve_forever"]

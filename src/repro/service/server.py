@@ -1,0 +1,646 @@
+"""The long-lived compile-and-tune batch server.
+
+:class:`CompileServer` is the in-process serving core (the Unix-socket
+front end lives in :mod:`repro.service.client`).  Every request is one
+deterministic job — compile a kernel through a pipeline spec, or
+measure a schedule config's cycles — and resolution is store-first:
+
+1. the request is mapped to its content address (sha256 of canonical
+   module text, canonical pipeline spec / config key, engine version);
+2. the :class:`~repro.service.store.ArtifactStore` is consulted — a
+   hit rehydrates the artifact without touching a worker;
+3. misses are **single-flight deduplicated**: identical keys within a
+   batch collapse to one job, and a key another thread is already
+   computing is awaited instead of recomputed;
+4. remaining jobs fan out across a
+   :class:`~repro.tune.workers.HardenedPool` (watchdog timeouts,
+   bounded retry, crash respawn, degradation to serial — PR 6's
+   service-grade worker tier);
+5. results are persisted to the store; failures come back as
+   structured :class:`~repro.tune.faults.Fault` values on the result,
+   never as exceptions — a batch always returns one result per
+   request.
+
+The server is thread-safe: concurrent :meth:`submit` calls from many
+threads share in-flight work and serialize on the worker pool.
+:meth:`stats` reports traffic, dedup counts, fault histograms, pool
+events, and the sizes of the process-wide caches a long-lived server
+must keep bounded (the engine decode cache, the network layer memo).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field, replace as _replace
+
+from ..compiler import CompiledKernel, Compiler
+from ..kernels import networks
+from ..snitch import engine
+from ..tune.faults import Fault, classify_error
+from ..tune.schedule import ScheduleConfig, resolve_kernel
+from ..tune.search import evaluate_config
+from ..tune.workers import HardenedPool, PoolConfig
+from .store import ArtifactStore, StoreError, compile_key, content_key
+
+#: Request kinds the server understands.
+REQUEST_KINDS = ("compile", "measure")
+
+
+@dataclass(frozen=True)
+class ServiceRequest:
+    """One deterministic job for the compile server.
+
+    ``kind="compile"`` compiles ``kernel`` at ``sizes`` through
+    ``pipeline`` (a named pipeline or raw spec) and yields a
+    :class:`~repro.compiler.CompiledKernel` artifact.
+
+    ``kind="measure"`` scores schedule ``config`` by simulated cycles
+    (the tuner's cycle oracle — multi-core configs row-partition
+    across a cluster), validated against the numpy oracle when
+    ``validate`` is set, and yields a ``{"cycles": N}`` artifact.
+    """
+
+    kind: str
+    kernel: str
+    sizes: tuple[int, ...]
+    pipeline: str = "ours"
+    config: ScheduleConfig = field(default_factory=ScheduleConfig)
+    seed: int = 0
+    validate: bool = True
+
+    def __post_init__(self):
+        if self.kind not in REQUEST_KINDS:
+            raise StoreError(
+                f"unknown request kind {self.kind!r} "
+                f"(one of {', '.join(REQUEST_KINDS)})"
+            )
+        object.__setattr__(
+            self, "sizes", tuple(int(s) for s in self.sizes)
+        )
+
+    def label(self) -> str:
+        shape = "x".join(map(str, self.sizes))
+        if self.kind == "compile":
+            return f"compile {self.kernel} {shape} [{self.pipeline}]"
+        return f"measure {self.kernel} {shape} [{self.config.key()}]"
+
+    def to_json(self) -> dict:
+        return {
+            "kind": self.kind,
+            "kernel": self.kernel,
+            "sizes": list(self.sizes),
+            "pipeline": self.pipeline,
+            "config": self.config.to_json(),
+            "seed": self.seed,
+            "validate": self.validate,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ServiceRequest":
+        try:
+            return cls(
+                kind=data["kind"],
+                kernel=data["kernel"],
+                sizes=tuple(data["sizes"]),
+                pipeline=data.get("pipeline", "ours"),
+                config=ScheduleConfig.from_json(
+                    data.get("config") or {}
+                ),
+                seed=int(data.get("seed", 0)),
+                validate=bool(data.get("validate", True)),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise StoreError(
+                f"malformed service request: {error}"
+            ) from None
+
+
+@dataclass
+class ServiceResult:
+    """One request's outcome: an artifact payload or a structured
+    fault, plus provenance (where it came from, how long it took)."""
+
+    request: ServiceRequest
+    #: Artifact kind/key in the store ("" when keying itself failed).
+    artifact_kind: str
+    key: str
+    #: The artifact payload (kernel JSON / ``{"cycles": N}``); None on
+    #: failure.
+    payload: dict | None
+    #: Structured failure (None on success).
+    fault: Fault | None
+    #: "store" (cache hit) | "computed" (fresh job) | "inflight"
+    #: (another thread/batch slot computed it first).
+    source: str
+    #: Submit-to-result wall-clock seconds.
+    latency: float
+
+    @property
+    def ok(self) -> bool:
+        return self.payload is not None
+
+    def kernel(self) -> CompiledKernel:
+        """Rehydrate a compile result's kernel (no recompilation)."""
+        if self.request.kind != "compile" or self.payload is None:
+            raise StoreError(
+                f"no compiled kernel on this result ({self.source}, "
+                f"{self.request.label()})"
+            )
+        return CompiledKernel.from_json(self.payload)
+
+    def to_json(self) -> dict:
+        return {
+            "request": self.request.to_json(),
+            "artifact_kind": self.artifact_kind,
+            "key": self.key,
+            "payload": self.payload,
+            "fault": self.fault.to_json() if self.fault else None,
+            "source": self.source,
+            "latency": self.latency,
+        }
+
+
+def request_key(request: ServiceRequest) -> tuple[str, str]:
+    """(artifact kind, content address) of one request.
+
+    Compile requests share the keyspace of the ``api.compile_linalg``
+    store fast path: sha256 of (canonical module text, canonical
+    pipeline spec, engine version), so a server-filled store also
+    serves direct API users and vice versa.
+    """
+    from ..ir.printer import print_op
+
+    builder, sizes = resolve_kernel(request.kernel, request.sizes)
+    module, _ = builder(*sizes)
+    text = print_op(module)
+    if request.kind == "compile":
+        spec = Compiler(request.pipeline).pipeline_spec
+        return "kernel", compile_key(text, spec)
+    return "cycles", content_key(
+        text,
+        f"measure|{request.config.key()}|seed={request.seed}"
+        f"|validate={request.validate}",
+        engine.ENGINE_VERSION,
+    )
+
+
+def _service_task(task) -> tuple[dict | None, dict | None]:
+    """One job in a pool worker: (payload, fault_json), never raises."""
+    payload, _injection = task
+    deadline = payload.get("deadline")
+    stage: list[str] = ["prepare"]
+    try:
+        request = ServiceRequest.from_json(payload["request"])
+        if request.kind == "compile":
+            stage[:] = ["compile"]
+            builder, sizes = resolve_kernel(
+                request.kernel, request.sizes
+            )
+            module, _ = builder(*sizes)
+            compiled = Compiler(request.pipeline).compile(module)
+            return compiled.to_json(), None
+        cycles = evaluate_config(
+            request.kernel,
+            request.sizes,
+            request.config,
+            seed=request.seed,
+            validate=request.validate,
+            deadline_seconds=deadline,
+            stage_out=stage,
+        )
+        return {"cycles": cycles}, None
+    except KeyboardInterrupt:
+        raise
+    except Exception as error:  # classify, don't propagate
+        fault = classify_error(
+            error, stage=stage[0] if stage else None
+        )
+        return None, fault.to_json()
+
+
+class _InFlight:
+    """One key's in-flight computation, shared across waiters."""
+
+    __slots__ = ("event", "result")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.result: ServiceResult | None = None
+
+
+class CompileServer:
+    """Store-first, single-flight, pool-backed job server (see
+    module docstring).  One server owns one
+    :class:`~repro.tune.workers.HardenedPool`; call :meth:`close`
+    (or use as a context manager) when done."""
+
+    def __init__(
+        self,
+        store: ArtifactStore,
+        workers: int = 1,
+        deadline: float | None = None,
+        retries: int = 2,
+    ):
+        self.store = store
+        self.deadline = deadline
+        self.pool = HardenedPool(
+            _service_task,
+            PoolConfig(
+                workers=max(1, workers),
+                deadline=deadline,
+                retries=retries,
+            ),
+        )
+        # Fork workers before any connection exists — a worker forked
+        # mid-connection inherits the connection fds and can pin a
+        # closed same-process peer open forever (no EOF).
+        self.pool.prestart()
+        self.started_at = time.monotonic()
+        self._mutex = threading.Lock()
+        #: Worker-pool access is serialized: HardenedPool.map is not
+        #: reentrant.  Single-flight dedup keeps contention low —
+        #: identical concurrent requests never both reach the pool.
+        self._pool_mutex = threading.Lock()
+        self._inflight: dict[tuple[str, str], _InFlight] = {}
+        self._counters = {
+            "requests": 0,
+            "store_hits": 0,
+            "computed": 0,
+            "deduped_in_batch": 0,
+            "joined_inflight": 0,
+            "faults": 0,
+        }
+        self._fault_kinds: dict[str, int] = {}
+
+    # -- bookkeeping ----------------------------------------------------------
+
+    def _count(self, name: str, by: int = 1) -> None:
+        with self._mutex:
+            self._counters[name] += by
+
+    def _record_fault(self, fault: Fault) -> None:
+        with self._mutex:
+            self._counters["faults"] += 1
+            self._fault_kinds[fault.kind] = (
+                self._fault_kinds.get(fault.kind, 0) + 1
+            )
+
+    def _fail(
+        self,
+        request: ServiceRequest,
+        error: Exception,
+        stage: str,
+        t0: float,
+        artifact_kind: str = "",
+        key: str = "",
+    ) -> ServiceResult:
+        fault = classify_error(
+            error, stage=stage, candidate=request.label()
+        )
+        self._record_fault(fault)
+        return ServiceResult(
+            request=request,
+            artifact_kind=artifact_kind,
+            key=key,
+            payload=None,
+            fault=fault,
+            source="failed",
+            latency=time.monotonic() - t0,
+        )
+
+    # -- request resolution ---------------------------------------------------
+
+    def submit(self, request: ServiceRequest) -> ServiceResult:
+        """Resolve one request (store -> in-flight join -> compute).
+
+        Thread-safe and single-flight: if another thread is already
+        computing the same content address, this call waits for that
+        result instead of recomputing.
+        """
+        t0 = time.monotonic()
+        self._count("requests")
+        try:
+            kind, key = request_key(request)
+        except Exception as error:
+            return self._fail(request, error, "prepare", t0)
+        payload = self.store.get(kind, key)
+        if payload is not None:
+            self._count("store_hits")
+            return ServiceResult(
+                request=request,
+                artifact_kind=kind,
+                key=key,
+                payload=payload,
+                fault=None,
+                source="store",
+                latency=time.monotonic() - t0,
+            )
+        record, owner = self._claim((kind, key))
+        if not owner:
+            record.event.wait()
+            self._count("joined_inflight")
+            shared = record.result
+            if shared is None:  # owner died without publishing
+                return self._fail(
+                    request,
+                    RuntimeError(
+                        "in-flight computation vanished without a "
+                        "result"
+                    ),
+                    "prepare",
+                    t0,
+                    kind,
+                    key,
+                )
+            result = _replace(
+                shared,
+                request=request,
+                source=(
+                    "inflight" if shared.ok else shared.source
+                ),
+                latency=time.monotonic() - t0,
+            )
+            if shared.fault is not None:
+                self._record_fault(shared.fault)
+            return result
+        result: ServiceResult | None = None
+        try:
+            result = self._compute(request, kind, key, t0)
+        finally:
+            record.result = result
+            with self._mutex:
+                self._inflight.pop((kind, key), None)
+            record.event.set()
+        return result
+
+    def _claim(
+        self, key: tuple[str, str]
+    ) -> tuple[_InFlight, bool]:
+        with self._mutex:
+            record = self._inflight.get(key)
+            if record is not None:
+                return record, False
+            record = _InFlight()
+            self._inflight[key] = record
+            return record, True
+
+    def _compute(
+        self,
+        request: ServiceRequest,
+        kind: str,
+        key: str,
+        t0: float,
+    ) -> ServiceResult:
+        """Run one job on the pool and persist its artifact."""
+        task_payload = {
+            "request": request.to_json(),
+            "deadline": self.deadline,
+        }
+        with self._pool_mutex:
+            [(payload, fault_json)] = self.pool.map(
+                [(0, request.label(), task_payload)]
+            )
+        if fault_json is not None:
+            fault = Fault.from_json(fault_json)
+            self._record_fault(fault)
+            return ServiceResult(
+                request=request,
+                artifact_kind=kind,
+                key=key,
+                payload=None,
+                fault=fault,
+                source="failed",
+                latency=time.monotonic() - t0,
+            )
+        self.store.put(kind, key, payload)
+        self._count("computed")
+        return ServiceResult(
+            request=request,
+            artifact_kind=kind,
+            key=key,
+            payload=payload,
+            fault=None,
+            source="computed",
+            latency=time.monotonic() - t0,
+        )
+
+    def batch(
+        self, requests: list[ServiceRequest]
+    ) -> list[ServiceResult]:
+        """Resolve a batch: store-first, deduplicated, fanned out.
+
+        Identical requests in the batch collapse to one job
+        (single-flight within the batch); keys another thread is
+        already computing are awaited, not recomputed.  All remaining
+        jobs go to the worker pool in one ``map`` so they run
+        concurrently when the pool is parallel.  Returns one result
+        per request, in order — faults are reported on the result,
+        never raised.
+        """
+        t0 = time.monotonic()
+        self._count("requests", len(requests))
+        results: list[ServiceResult | None] = [None] * len(requests)
+        #: (kind, key) -> positions in the batch that want it.
+        wanted: dict[tuple[str, str], list[int]] = {}
+        keyed: dict[tuple[str, str], ServiceRequest] = {}
+        for pos, request in enumerate(requests):
+            try:
+                kind, key = request_key(request)
+            except Exception as error:
+                results[pos] = self._fail(
+                    request, error, "prepare", t0
+                )
+                continue
+            wanted.setdefault((kind, key), []).append(pos)
+            keyed.setdefault((kind, key), request)
+        duplicate_count = sum(
+            len(slots) - 1 for slots in wanted.values()
+        )
+        self._count("deduped_in_batch", duplicate_count)
+
+        # Store pass.
+        misses: list[tuple[str, str]] = []
+        for (kind, key), slots in wanted.items():
+            payload = self.store.get(kind, key)
+            if payload is None:
+                misses.append((kind, key))
+                continue
+            self._count("store_hits", len(slots))
+            elapsed = time.monotonic() - t0
+            for pos in slots:
+                results[pos] = ServiceResult(
+                    request=requests[pos],
+                    artifact_kind=kind,
+                    key=key,
+                    payload=payload,
+                    fault=None,
+                    source="store",
+                    latency=elapsed,
+                )
+
+        # Claim misses; keys in flight elsewhere are awaited below.
+        owned: list[tuple[str, str]] = []
+        awaited: list[tuple[tuple[str, str], _InFlight]] = []
+        for kk in misses:
+            record, owner = self._claim(kk)
+            if owner:
+                owned.append(kk)
+            else:
+                awaited.append((kk, record))
+
+        # Fan owned jobs out across the pool in one map.
+        records = {kk: self._inflight[kk] for kk in owned}
+        try:
+            tasks = []
+            for seq, (kind, key) in enumerate(owned):
+                request = keyed[(kind, key)]
+                tasks.append(
+                    (
+                        seq,
+                        request.label(),
+                        {
+                            "request": request.to_json(),
+                            "deadline": self.deadline,
+                        },
+                    )
+                )
+            if tasks:
+                with self._pool_mutex:
+                    outcomes = self.pool.map(tasks)
+            else:
+                outcomes = []
+            for (kind, key), (payload, fault_json) in zip(
+                owned, outcomes
+            ):
+                elapsed = time.monotonic() - t0
+                if fault_json is not None:
+                    fault = Fault.from_json(fault_json)
+                    self._record_fault(fault)
+                    result = ServiceResult(
+                        request=keyed[(kind, key)],
+                        artifact_kind=kind,
+                        key=key,
+                        payload=None,
+                        fault=fault,
+                        source="failed",
+                        latency=elapsed,
+                    )
+                else:
+                    self.store.put(kind, key, payload)
+                    self._count("computed")
+                    result = ServiceResult(
+                        request=keyed[(kind, key)],
+                        artifact_kind=kind,
+                        key=key,
+                        payload=payload,
+                        fault=None,
+                        source="computed",
+                        latency=elapsed,
+                    )
+                records[(kind, key)].result = result
+        finally:
+            with self._mutex:
+                for kk in owned:
+                    self._inflight.pop(kk, None)
+            for kk in owned:
+                records[kk].event.set()
+
+        # Fill remaining slots: owned results (shared by duplicate
+        # slots in this batch) and keys awaited from other threads.
+        joined = dict(awaited)
+        for (kind, key), slots in wanted.items():
+            if results[slots[0]] is not None:
+                continue
+            record = records.get((kind, key))
+            from_other_thread = record is None
+            if from_other_thread:
+                record = joined[(kind, key)]
+                record.event.wait()
+                self._count("joined_inflight", len(slots))
+            shared = record.result
+            for pos in slots:
+                if shared is None:
+                    results[pos] = self._fail(
+                        requests[pos],
+                        RuntimeError(
+                            "in-flight computation vanished without "
+                            "a result"
+                        ),
+                        "prepare",
+                        t0,
+                        kind,
+                        key,
+                    )
+                    continue
+                if shared.request is requests[pos]:
+                    continue  # the owned slot already holds it
+                results[pos] = _replace(
+                    shared,
+                    request=requests[pos],
+                    source=(
+                        "inflight"
+                        if shared.ok and from_other_thread
+                        else shared.source
+                    ),
+                    latency=time.monotonic() - t0,
+                )
+                if shared.fault is not None and from_other_thread:
+                    self._record_fault(shared.fault)
+        for pos, result in enumerate(results):
+            if result is None:  # owned slot: take the shared result
+                shared = records[
+                    next(
+                        kk
+                        for kk, slots in wanted.items()
+                        if pos in slots
+                    )
+                ].result
+                results[pos] = shared
+        return results  # type: ignore[return-value]
+
+    # -- introspection --------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Traffic, dedup, faults, pool health, cache sizes, store."""
+        with self._mutex:
+            counters = dict(self._counters)
+            fault_kinds = dict(self._fault_kinds)
+            inflight = len(self._inflight)
+        return {
+            "uptime_seconds": time.monotonic() - self.started_at,
+            "counters": counters,
+            "fault_kinds": fault_kinds,
+            "inflight": inflight,
+            "pool": {
+                "workers": self.pool.config.workers,
+                "degraded": self.pool.degraded,
+                "events": list(self.pool.events),
+            },
+            "caches": {
+                "decode_programs": engine.decode_cache_size(),
+                "decode_limit": engine.decode_cache_limit(),
+                "layer_memo": networks.layer_cache_size(),
+                "layer_memo_limit": networks.layer_cache_limit(),
+            },
+            "store": self.store.stats(),
+        }
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        self.pool.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+__all__ = [
+    "REQUEST_KINDS",
+    "CompileServer",
+    "ServiceRequest",
+    "ServiceResult",
+    "request_key",
+]

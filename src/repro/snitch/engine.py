@@ -32,6 +32,9 @@ a cluster (and repeated runs of one kernel) share one decode.
 
 from __future__ import annotations
 
+import threading
+import weakref
+from collections import OrderedDict
 from time import monotonic
 
 import numpy as np
@@ -112,6 +115,78 @@ DECODE_STATS = {"programs_decoded": 0, "instructions_decoded": 0}
 #: it whenever a change alters *cycle counts* (not just throughput) so
 #: stale caches invalidate themselves instead of mis-ranking schedules.
 ENGINE_VERSION = 1
+
+#: Guards decode publication and the decode registry: concurrent
+#: :func:`decode` calls on one ``Program`` (e.g. a threaded compile
+#: server's workers) must observe either no decode or a complete one,
+#: never a partially initialized ``DecodedProgram``.
+_DECODE_LOCK = threading.Lock()
+
+#: LRU registry of live decoded programs, ``id(program) -> weakref``.
+#: Decodes are memoized *on* the ``Program`` object (``_decoded``), so
+#: they normally die with it; this registry exists to let a long-lived
+#: process bound and introspect that otherwise-invisible cache.  All
+#: access happens under :data:`_DECODE_LOCK`.
+_DECODE_LRU: "OrderedDict[int, weakref.ref]" = OrderedDict()
+
+#: Max live decodes kept (``None`` = unbounded).  Evicting drops the
+#: ``_decoded`` attribute of the least-recently decoded program — it
+#: re-decodes transparently on next use.
+_DECODE_LIMIT: int | None = None
+
+
+def _prune_decode_lru() -> None:
+    """Drop dead weakrefs; evict past the limit.  Lock held."""
+    dead = [key for key, ref in _DECODE_LRU.items() if ref() is None]
+    for key in dead:
+        del _DECODE_LRU[key]
+    if _DECODE_LIMIT is None:
+        return
+    while len(_DECODE_LRU) > _DECODE_LIMIT:
+        _, ref = _DECODE_LRU.popitem(last=False)
+        victim = ref()
+        if victim is not None:
+            try:
+                del victim._decoded
+            except AttributeError:
+                pass
+
+
+def decode_cache_size() -> int:
+    """Number of live decoded programs currently registered."""
+    with _DECODE_LOCK:
+        _prune_decode_lru()
+        return len(_DECODE_LRU)
+
+
+def decode_cache_limit() -> int | None:
+    """The decode cache bound (``None`` = unbounded)."""
+    return _DECODE_LIMIT
+
+
+def set_decode_cache_limit(limit: int | None) -> None:
+    """Bound the decode cache to ``limit`` live decodes (evicting
+    least-recently-decoded programs immediately); ``None`` removes
+    the bound."""
+    global _DECODE_LIMIT
+    if limit is not None and limit < 0:
+        raise ValueError("decode cache limit must be >= 0 or None")
+    with _DECODE_LOCK:
+        _DECODE_LIMIT = limit
+        _prune_decode_lru()
+
+
+def clear_decode_cache() -> None:
+    """Drop every memoized decode (programs re-decode on next use)."""
+    with _DECODE_LOCK:
+        for ref in _DECODE_LRU.values():
+            program = ref()
+            if program is not None:
+                try:
+                    del program._decoded
+                except AttributeError:
+                    pass
+        _DECODE_LRU.clear()
 
 
 def _u(name: str) -> int:
@@ -1365,7 +1440,22 @@ def decode(program: Program) -> DecodedProgram:
     The result is memoized on the ``Program`` object, so every machine
     executing the same program — every core of a cluster, every run of
     a reused compiled kernel — shares a single decode.
+
+    Thread-safe: the decode is published under :data:`_DECODE_LOCK`
+    with a double check, so racing callers (a threaded compile
+    server's submitters) share one complete decode — never a torn one,
+    and never two redundant ones.  The lock-free fast path reads the
+    already-published attribute, which CPython assignment makes atomic.
     """
+    cached = getattr(program, "_decoded", None)
+    if cached is not None and cached.matches(program):
+        return cached
+    with _DECODE_LOCK:
+        return _decode_locked(program)
+
+
+def _decode_locked(program: Program) -> DecodedProgram:
+    """Decode under :data:`_DECODE_LOCK` (double-checked)."""
     cached = getattr(program, "_decoded", None)
     if cached is not None and cached.matches(program):
         return cached
@@ -1410,6 +1500,10 @@ def decode(program: Program) -> DecodedProgram:
     program._decoded = decoded
     DECODE_STATS["programs_decoded"] += 1
     DECODE_STATS["instructions_decoded"] += len(insts)
+    key = id(program)
+    _DECODE_LRU[key] = weakref.ref(program)
+    _DECODE_LRU.move_to_end(key)
+    _prune_decode_lru()
     return decoded
 
 
@@ -1475,8 +1569,12 @@ __all__ = [
     "DECODE_STATS",
     "ENGINE_VERSION",
     "DecodedProgram",
+    "clear_decode_cache",
     "decode",
+    "decode_cache_limit",
+    "decode_cache_size",
     "execute",
     "make_state",
+    "set_decode_cache_limit",
     "sync_state",
 ]

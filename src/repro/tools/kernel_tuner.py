@@ -112,6 +112,15 @@ def build_argument_parser() -> argparse.ArgumentParser:
         help="do not read or write the persistent cache",
     )
     parser.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="content-addressed artifact store directory: an identical "
+        "prior run returns its stored TunedSchedule without "
+        "re-evaluating anything; fresh runs persist their winner "
+        "(see docs/SERVICE.md)",
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=None,
@@ -194,6 +203,8 @@ def _print_result(result, args) -> None:
             )
         return
     print(result.report())
+    if result.from_store:
+        print(f"schedule served from artifact store ({args.store})")
     print(
         f"cache: {result.cache_hits} hits, "
         f"{result.cache_misses} misses"
@@ -246,6 +257,11 @@ def main(argv=None) -> int:
         previous_sigterm = None
 
     cache = TuneCache(None if args.no_cache else args.cache)
+    store = None
+    if args.store is not None:
+        from ..service.store import ArtifactStore
+
+        store = ArtifactStore(args.store)
     try:
         result = tune_kernel(
             args.kernel,
@@ -259,6 +275,7 @@ def main(argv=None) -> int:
             deadline=args.deadline,
             retries=args.retries,
             injector=FaultInjector.from_env(),
+            store=store,
         )
     except SearchInterrupted as interrupt:
         # The cache was checkpointed by the search; persist the

@@ -36,7 +36,12 @@ Durability guarantees:
   last-writer-wins clobbering;
 * **checkpointing** — with ``checkpoint_every=N`` the cache persists
   itself every N new measurements, so an interrupt loses at most one
-  batch of work.
+  batch of work;
+* **abnormal-exit hygiene** — pid-tagged temp files abandoned by a
+  SIGKILLed writer are swept on the next load/save (the embedded pid
+  proves ownership), and a leftover ``.lock`` file never blocks the
+  next run: the kernel releases a dead process's ``flock``
+  automatically.
 """
 
 from __future__ import annotations
@@ -60,6 +65,46 @@ except ImportError:  # pragma: no cover - non-POSIX platforms
 
 #: Internal miss sentinel (a cached failure is a *hit* with a fault).
 _MISS = object()
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # someone else's live process
+        return True
+    except OSError:
+        return False
+    return True
+
+
+def _sweep_stale_tmp(path: Path) -> None:
+    """Remove abandoned ``<name>.<pid>.tmp`` siblings of ``path``.
+
+    A SIGKILLed (or OOM-killed) writer leaves its pid-tagged temp file
+    behind; since the pid names the owner, a dead pid proves the file
+    is garbage.  The sidecar ``.lock`` file needs no such sweep — the
+    kernel drops a dead process's ``flock`` automatically, so a
+    leftover lock file can never block the next run (and unlinking it
+    would race live lockers onto different inodes).
+    """
+    prefix = path.name + "."
+    try:
+        siblings = list(path.parent.iterdir())
+    except OSError:
+        return
+    for candidate in siblings:
+        name = candidate.name
+        if not (name.startswith(prefix) and name.endswith(".tmp")):
+            continue
+        pid_text = name[len(prefix) : -len(".tmp")]
+        if not pid_text.isdigit() or _pid_alive(int(pid_text)):
+            continue
+        try:
+            candidate.unlink()
+        except OSError:
+            pass
 
 
 @contextmanager
@@ -146,6 +191,7 @@ class TuneCache:
             self._entries = self._load()
 
     def _load(self) -> dict[str, int | Fault]:
+        _sweep_stale_tmp(self.path)
         try:
             text = self.path.read_text()
         except OSError:
@@ -289,6 +335,7 @@ class TuneCache:
                     os.close(dir_fd)
             except OSError:  # pragma: no cover - fs without dir fsync
                 pass
+            _sweep_stale_tmp(self.path)
         self._dirty = False
         self._puts_since_save = 0
 

@@ -43,6 +43,7 @@ import numpy as np
 from .. import api
 from ..compiler import Compiler
 from ..snitch.cluster import run_row_partitioned
+from ..snitch.engine import ENGINE_VERSION
 from .cache import TuneCache
 from .faults import Fault, FaultInjector, InjectedError, classify_error
 from .schedule import (
@@ -258,6 +259,9 @@ class TuneResult:
     degraded: bool = False
     #: Whether the search was cut short (the result is best-so-far).
     interrupted: bool = False
+    #: Whether the whole result came from a stored TunedSchedule
+    #: artifact (no candidates were evaluated this run).
+    from_store: bool = False
 
     @property
     def default_cycles(self) -> int:
@@ -564,6 +568,7 @@ def tune_kernel(
     deadline: float | None = None,
     retries: int = 2,
     injector: FaultInjector | None = None,
+    store=None,
 ) -> TuneResult:
     """Search a kernel's schedule space; returns the full result.
 
@@ -588,6 +593,13 @@ def tune_kernel(
     An interrupt (Ctrl-C) checkpoints the cache and raises
     :class:`SearchInterrupted` with the best-so-far partial result
     attached.
+
+    ``store`` (an :class:`~repro.service.ArtifactStore`) persists the
+    *outcome* of the whole search, complementing the per-measurement
+    ``cache``: an identical (kernel, sizes, strategy, seed, budget,
+    cores, validate, engine version) run returns the stored
+    :class:`TunedSchedule` without evaluating anything
+    (``result.from_store``); a fresh run writes its winner back.
     """
     if strategy not in STRATEGIES:
         raise ScheduleError(
@@ -597,6 +609,34 @@ def tune_kernel(
     if budget is not None and budget < 1:
         raise ScheduleError("budget must allow at least one candidate")
     space = ScheduleSpace.for_kernel(kernel, sizes, core_counts)
+    store_key = None
+    if store is not None:
+        # Lazy import: repro.service depends on this module.
+        from ..service.store import content_key
+
+        store_key = content_key(
+            "tuned-schedule",
+            kernel,
+            "x".join(str(int(s)) for s in sizes),
+            strategy,
+            seed,
+            -1 if budget is None else budget,
+            list(core_counts),
+            validate,
+            ENGINE_VERSION,
+        )
+        payload = store.get("schedule", store_key)
+        if payload is not None:
+            best = TunedSchedule.from_json(payload)
+            if best.engine_version == ENGINE_VERSION:
+                return TuneResult(
+                    kernel=kernel,
+                    sizes=best.sizes,
+                    strategy=strategy,
+                    seed=seed,
+                    best=best,
+                    from_store=True,
+                )
     if not isinstance(cache, TuneCache):
         cache = TuneCache(cache)
     driver = _SearchDriver(
@@ -632,7 +672,10 @@ def tune_kernel(
                 f"{len(driver.ordered)} candidates",
                 partial=partial,
             )
-        return driver.finish(strategy)
+        result = driver.finish(strategy)
+        if store is not None:
+            store.put("schedule", store_key, result.best.to_json())
+        return result
     finally:
         driver.pool.close()
         cache.save()

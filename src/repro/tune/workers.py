@@ -203,6 +203,21 @@ class HardenedPool:
             and not self.degraded
         )
 
+    def prestart(self) -> None:
+        """Fork the full worker complement now (idempotent).
+
+        Workers normally fork lazily on the first parallel
+        :meth:`map`.  A long-lived server must fork them *before* it
+        accepts connections: a child forked mid-connection inherits
+        every open connection fd, and a same-process peer then never
+        sees EOF on a connection it has closed.  No-op when the pool
+        would run serially anyway.
+        """
+        if not self.parallel:
+            return
+        while len(self._workers) < self.config.workers:
+            self._spawn()
+
     # -- serial path ---------------------------------------------------------
 
     def _run_serial(self, item: _Item):
