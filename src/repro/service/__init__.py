@@ -18,8 +18,15 @@ package turns that determinism into a serving layer:
   and simulate jobs, and per-request structured fault reporting via
   the :mod:`repro.tune.faults` taxonomy;
 * :mod:`repro.service.client` — the wire protocol: a Unix-socket
-  ``serve_forever`` loop and :class:`ServiceClient` for talking to a
-  server in another process.
+  ``serve_forever`` loop (threaded connections, request deadlines,
+  admission backpressure, graceful SIGTERM/SIGINT drain with
+  documented exit codes, a crash-safe request journal, and a chaos
+  injection layer via ``REPRO_SERVICE_FAULTS``) and
+  :class:`ServiceClient` — connect/call timeouts, bounded retry with
+  exponential backoff + jitter, transparent reconnect across server
+  restarts, and a circuit breaker (:class:`CircuitOpenError`) that
+  half-opens on a probe ping.  Transport failures surface as
+  :class:`ServiceUnavailable` carrying a structured taxonomy fault.
 
 ``api.compile_linalg``/``api.compile_lowlevel`` accept ``store=`` for
 an opt-in content-addressed fast path, ``tune_kernel`` reads and
@@ -30,16 +37,34 @@ CLI (``serve`` / ``submit`` / ``batch`` / ``stats`` / ``gc``).
 See ``docs/SERVICE.md``.
 """
 
-from .client import ServiceClient, serve_forever
+from .client import (
+    EXIT_CRASH,
+    EXIT_OK,
+    EXIT_SIGINT,
+    EXIT_SIGTERM,
+    CircuitOpenError,
+    ServiceClient,
+    ServiceError,
+    ServiceUnavailable,
+    serve_forever,
+)
 from .server import CompileServer, ServiceRequest, ServiceResult
-from .store import ArtifactStore, StoreError
+from .store import ArtifactStore, RequestJournal, StoreError
 
 __all__ = [
+    "EXIT_CRASH",
+    "EXIT_OK",
+    "EXIT_SIGINT",
+    "EXIT_SIGTERM",
     "ArtifactStore",
+    "CircuitOpenError",
     "CompileServer",
+    "RequestJournal",
     "ServiceClient",
+    "ServiceError",
     "ServiceRequest",
     "ServiceResult",
+    "ServiceUnavailable",
     "StoreError",
     "serve_forever",
 ]

@@ -37,11 +37,23 @@ from dataclasses import dataclass, field, replace as _replace
 from ..compiler import CompiledKernel, Compiler
 from ..kernels import networks
 from ..snitch import engine
-from ..tune.faults import Fault, classify_error
+from ..tune.faults import (
+    CancelledFault,
+    Fault,
+    OverloadFault,
+    TimeoutFault,
+    classify_error,
+)
 from ..tune.schedule import ScheduleConfig, resolve_kernel
 from ..tune.search import evaluate_config
 from ..tune.workers import HardenedPool, PoolConfig
-from .store import ArtifactStore, StoreError, compile_key, content_key
+from .store import (
+    ArtifactStore,
+    RequestJournal,
+    StoreError,
+    compile_key,
+    content_key,
+)
 
 #: Request kinds the server understands.
 REQUEST_KINDS = ("compile", "measure")
@@ -131,7 +143,9 @@ class ServiceResult:
     #: Structured failure (None on success).
     fault: Fault | None
     #: "store" (cache hit) | "computed" (fresh job) | "inflight"
-    #: (another thread/batch slot computed it first).
+    #: (another thread/batch slot computed it first) | "failed"
+    #: (computation faulted) | "rejected" (refused at admission:
+    #: overload or draining).
     source: str
     #: Submit-to-result wall-clock seconds.
     latency: float
@@ -241,9 +255,27 @@ class CompileServer:
         workers: int = 1,
         deadline: float | None = None,
         retries: int = 2,
+        max_inflight: int | None = None,
+        request_deadline: float | None = None,
+        journal: RequestJournal | None = None,
     ):
         self.store = store
         self.deadline = deadline
+        #: Admission high-water mark: requests in flight (admitted,
+        #: not yet resolved) beyond this are refused with a retryable
+        #: OverloadFault instead of queuing unboundedly.
+        self.max_inflight = max_inflight
+        #: Default per-request wall-clock budget, admission to result
+        #: (a per-call ``deadline=`` overrides it).
+        self.request_deadline = request_deadline
+        self.journal = journal
+        #: Accepted-but-unfinished work a *previous* server left in
+        #: the journal (it died mid-batch); swept and reported here so
+        #: clients know to resubmit — completed keys come back as
+        #: cheap store hits.
+        self.interrupted: list[dict] = (
+            journal.sweep() if journal is not None else []
+        )
         self.pool = HardenedPool(
             _service_task,
             PoolConfig(
@@ -263,6 +295,11 @@ class CompileServer:
         #: identical concurrent requests never both reach the pool.
         self._pool_mutex = threading.Lock()
         self._inflight: dict[tuple[str, str], _InFlight] = {}
+        self._draining = False
+        self._inflight_requests = 0
+        #: Signalled whenever the in-flight request count drops —
+        #: :meth:`drain` waits on it.
+        self._idle = threading.Condition(self._mutex)
         self._counters = {
             "requests": 0,
             "store_hits": 0,
@@ -270,6 +307,9 @@ class CompileServer:
             "deduped_in_batch": 0,
             "joined_inflight": 0,
             "faults": 0,
+            "rejected_overload": 0,
+            "rejected_draining": 0,
+            "deadline_expired": 0,
         }
         self._fault_kinds: dict[str, int] = {}
 
@@ -309,17 +349,187 @@ class CompileServer:
             latency=time.monotonic() - t0,
         )
 
+    # -- admission, drain, deadlines ------------------------------------------
+
+    def _admit(self, count: int) -> str | None:
+        """Admit ``count`` requests, or the refusal reason."""
+        with self._mutex:
+            if self._draining:
+                return "draining"
+            if (
+                self.max_inflight is not None
+                and self._inflight_requests + count > self.max_inflight
+            ):
+                return "overload"
+            self._inflight_requests += count
+            return None
+
+    def _release(self, count: int) -> None:
+        with self._idle:
+            self._inflight_requests -= count
+            self._idle.notify_all()
+
+    def _refuse(
+        self, request: ServiceRequest, reason: str, t0: float
+    ) -> ServiceResult:
+        """A structured admission refusal (never an exception)."""
+        if reason == "draining":
+            self._count("rejected_draining")
+            fault: Fault = CancelledFault(
+                message=(
+                    "server is draining; retry against a restarted "
+                    "server"
+                ),
+                candidate=request.label(),
+                stage="admission",
+            )
+        else:
+            self._count("rejected_overload")
+            fault = OverloadFault(
+                message=(
+                    f"server at max in-flight capacity "
+                    f"({self.max_inflight}); retry with backoff"
+                ),
+                candidate=request.label(),
+                stage="admission",
+            )
+        self._record_fault(fault)
+        return ServiceResult(
+            request=request,
+            artifact_kind="",
+            key="",
+            payload=None,
+            fault=fault,
+            source="rejected",
+            latency=time.monotonic() - t0,
+        )
+
+    def reject(
+        self, request: ServiceRequest, reason: str = "overload"
+    ) -> ServiceResult:
+        """A structured admission refusal *without* admitting —
+        the ``reject-admission`` chaos injection uses this to make an
+        injected overload indistinguishable from a real one."""
+        self._count("requests")
+        return self._refuse(request, reason, time.monotonic())
+
+    def _enforce_deadline(
+        self, result: ServiceResult, budget: float | None
+    ) -> ServiceResult:
+        """Fault a result that finished past its wall-clock budget.
+
+        The artifact (if any) stays in the store — a client retry is
+        a cheap store hit — but the caller is told the truth: the
+        deadline was missed.  Results that already carry a fault keep
+        their original, more specific fault.
+        """
+        if (
+            budget is None
+            or result.fault is not None
+            or result.latency <= budget
+        ):
+            return result
+        fault = TimeoutFault(
+            message=(
+                f"request exceeded its {budget:g}s wall-clock "
+                f"deadline (took {result.latency:.3f}s)"
+            ),
+            candidate=result.request.label(),
+            stage="request",
+        )
+        self._record_fault(fault)
+        self._count("deadline_expired")
+        return _replace(
+            result, payload=None, fault=fault, source="failed"
+        )
+
+    def _job_deadline(self, deadline_at: float | None) -> float | None:
+        """The evaluation deadline to ride into a worker: the pool's
+        per-job deadline, tightened by the request's remaining
+        wall-clock budget."""
+        limits = [
+            limit for limit in (self.deadline,) if limit is not None
+        ]
+        if deadline_at is not None:
+            limits.append(max(0.0, deadline_at - time.monotonic()))
+        return min(limits) if limits else None
+
+    @property
+    def draining(self) -> bool:
+        with self._mutex:
+            return self._draining
+
+    def begin_drain(self) -> None:
+        """Stop admitting new requests (idempotent)."""
+        with self._mutex:
+            self._draining = True
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Begin draining and wait for in-flight requests to resolve.
+
+        Returns True when the server went idle within ``timeout``
+        seconds (None = wait forever), False if in-flight work
+        remained when the clock ran out — the caller then faults it
+        by closing connections/pool.
+        """
+        self.begin_drain()
+        deadline_at = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        with self._idle:
+            while self._inflight_requests > 0:
+                remaining = (
+                    deadline_at - time.monotonic()
+                    if deadline_at is not None
+                    else None
+                )
+                if remaining is not None and remaining <= 0:
+                    return False
+                if not self._idle.wait(remaining):
+                    return False
+        return True
+
     # -- request resolution ---------------------------------------------------
 
-    def submit(self, request: ServiceRequest) -> ServiceResult:
-        """Resolve one request (store -> in-flight join -> compute).
+    def submit(
+        self,
+        request: ServiceRequest,
+        deadline: float | None = None,
+    ) -> ServiceResult:
+        """Resolve one request (admission -> store -> in-flight join
+        -> compute).
 
         Thread-safe and single-flight: if another thread is already
         computing the same content address, this call waits for that
-        result instead of recomputing.
+        result instead of recomputing.  ``deadline`` overrides the
+        server's default per-request wall-clock budget; a request
+        that resolves past its budget is faulted (``timeout``) even
+        when the underlying work succeeded (the artifact stays in the
+        store, so the retry is cheap).  When the server is at its
+        in-flight high-water mark or draining, the request is refused
+        with a retryable structured fault, never queued unboundedly.
         """
         t0 = time.monotonic()
         self._count("requests")
+        budget = (
+            self.request_deadline if deadline is None else deadline
+        )
+        reason = self._admit(1)
+        if reason is not None:
+            return self._refuse(request, reason, t0)
+        try:
+            result = self._resolve(request, t0, budget)
+        finally:
+            self._release(1)
+        return self._enforce_deadline(result, budget)
+
+    def _resolve(
+        self,
+        request: ServiceRequest,
+        t0: float,
+        budget: float | None,
+    ) -> ServiceResult:
+        deadline_at = t0 + budget if budget is not None else None
         try:
             kind, key = request_key(request)
         except Exception as error:
@@ -338,7 +548,31 @@ class CompileServer:
             )
         record, owner = self._claim((kind, key))
         if not owner:
-            record.event.wait()
+            wait_budget = (
+                max(0.0, deadline_at - time.monotonic())
+                if deadline_at is not None
+                else None
+            )
+            if not record.event.wait(wait_budget):
+                fault = TimeoutFault(
+                    message=(
+                        "request deadline expired while waiting on "
+                        "another caller's in-flight computation"
+                    ),
+                    candidate=request.label(),
+                    stage="request",
+                )
+                self._record_fault(fault)
+                self._count("deadline_expired")
+                return ServiceResult(
+                    request=request,
+                    artifact_kind=kind,
+                    key=key,
+                    payload=None,
+                    fault=fault,
+                    source="failed",
+                    latency=time.monotonic() - t0,
+                )
             self._count("joined_inflight")
             shared = record.result
             if shared is None:  # owner died without publishing
@@ -366,7 +600,7 @@ class CompileServer:
             return result
         result: ServiceResult | None = None
         try:
-            result = self._compute(request, kind, key, t0)
+            result = self._compute(request, kind, key, t0, deadline_at)
         finally:
             record.result = result
             with self._mutex:
@@ -391,16 +625,33 @@ class CompileServer:
         kind: str,
         key: str,
         t0: float,
+        deadline_at: float | None = None,
     ) -> ServiceResult:
-        """Run one job on the pool and persist its artifact."""
+        """Run one job on the pool and persist its artifact.
+
+        The job is journalled while in flight (when the server has a
+        journal): a server killed here leaves a record a restarted
+        server sweeps and reports.
+        """
         task_payload = {
             "request": request.to_json(),
-            "deadline": self.deadline,
+            "deadline": self._job_deadline(deadline_at),
         }
-        with self._pool_mutex:
-            [(payload, fault_json)] = self.pool.map(
-                [(0, request.label(), task_payload)]
-            )
+        entry_id = (
+            self.journal.begin(kind, key, request.label())
+            if self.journal is not None
+            else None
+        )
+        try:
+            with self._pool_mutex:
+                [(payload, fault_json)] = self.pool.map(
+                    [(0, request.label(), task_payload)]
+                )
+            if fault_json is None:
+                self.store.put(kind, key, payload)
+        finally:
+            if entry_id is not None:
+                self.journal.finish(entry_id)
         if fault_json is not None:
             fault = Fault.from_json(fault_json)
             self._record_fault(fault)
@@ -413,7 +664,6 @@ class CompileServer:
                 source="failed",
                 latency=time.monotonic() - t0,
             )
-        self.store.put(kind, key, payload)
         self._count("computed")
         return ServiceResult(
             request=request,
@@ -426,7 +676,9 @@ class CompileServer:
         )
 
     def batch(
-        self, requests: list[ServiceRequest]
+        self,
+        requests: list[ServiceRequest],
+        deadline: float | None = None,
     ) -> list[ServiceResult]:
         """Resolve a batch: store-first, deduplicated, fanned out.
 
@@ -437,9 +689,42 @@ class CompileServer:
         concurrently when the pool is parallel.  Returns one result
         per request, in order — faults are reported on the result,
         never raised.
+
+        Admission control and the per-request wall-clock ``deadline``
+        apply exactly as in :meth:`submit`: a batch past the in-flight
+        high-water mark (the whole batch counts) is refused with
+        retryable faults, and each result is checked against the
+        budget on completion.
         """
         t0 = time.monotonic()
         self._count("requests", len(requests))
+        if not requests:
+            return []
+        budget = (
+            self.request_deadline if deadline is None else deadline
+        )
+        reason = self._admit(len(requests))
+        if reason is not None:
+            return [
+                self._refuse(request, reason, t0)
+                for request in requests
+            ]
+        try:
+            results = self._resolve_batch(requests, t0, budget)
+        finally:
+            self._release(len(requests))
+        return [
+            self._enforce_deadline(result, budget)
+            for result in results
+        ]
+
+    def _resolve_batch(
+        self,
+        requests: list[ServiceRequest],
+        t0: float,
+        budget: float | None,
+    ) -> list[ServiceResult]:
+        deadline_at = t0 + budget if budget is not None else None
         results: list[ServiceResult | None] = [None] * len(requests)
         #: (kind, key) -> positions in the batch that want it.
         wanted: dict[tuple[str, str], list[int]] = {}
@@ -489,19 +774,27 @@ class CompileServer:
             else:
                 awaited.append((kk, record))
 
-        # Fan owned jobs out across the pool in one map.
+        # Fan owned jobs out across the pool in one map.  Each owned
+        # job is journalled while in flight: a server killed here
+        # leaves per-key records the restarted server sweeps.
         records = {kk: self._inflight[kk] for kk in owned}
+        journal_ids: list[str] = []
         try:
             tasks = []
+            job_deadline = self._job_deadline(deadline_at)
             for seq, (kind, key) in enumerate(owned):
                 request = keyed[(kind, key)]
+                if self.journal is not None:
+                    journal_ids.append(
+                        self.journal.begin(kind, key, request.label())
+                    )
                 tasks.append(
                     (
                         seq,
                         request.label(),
                         {
                             "request": request.to_json(),
-                            "deadline": self.deadline,
+                            "deadline": job_deadline,
                         },
                     )
                 )
@@ -540,6 +833,8 @@ class CompileServer:
                     )
                 records[(kind, key)].result = result
         finally:
+            for entry_id in journal_ids:
+                self.journal.finish(entry_id)
             with self._mutex:
                 for kk in owned:
                     self._inflight.pop(kk, None)
@@ -556,7 +851,34 @@ class CompileServer:
             from_other_thread = record is None
             if from_other_thread:
                 record = joined[(kind, key)]
-                record.event.wait()
+                wait_budget = (
+                    max(0.0, deadline_at - time.monotonic())
+                    if deadline_at is not None
+                    else None
+                )
+                if not record.event.wait(wait_budget):
+                    for pos in slots:
+                        fault = TimeoutFault(
+                            message=(
+                                "request deadline expired while "
+                                "waiting on another caller's "
+                                "in-flight computation"
+                            ),
+                            candidate=requests[pos].label(),
+                            stage="request",
+                        )
+                        self._record_fault(fault)
+                        self._count("deadline_expired")
+                        results[pos] = ServiceResult(
+                            request=requests[pos],
+                            artifact_kind=kind,
+                            key=key,
+                            payload=None,
+                            fault=fault,
+                            source="failed",
+                            latency=time.monotonic() - t0,
+                        )
+                    continue
                 self._count("joined_inflight", len(slots))
             shared = record.result
             for pos in slots:
@@ -607,11 +929,20 @@ class CompileServer:
             counters = dict(self._counters)
             fault_kinds = dict(self._fault_kinds)
             inflight = len(self._inflight)
+            draining = self._draining
+            inflight_requests = self._inflight_requests
         return {
             "uptime_seconds": time.monotonic() - self.started_at,
             "counters": counters,
             "fault_kinds": fault_kinds,
             "inflight": inflight,
+            "lifecycle": {
+                "draining": draining,
+                "inflight_requests": inflight_requests,
+                "max_inflight": self.max_inflight,
+                "request_deadline": self.request_deadline,
+                "interrupted_on_restart": list(self.interrupted),
+            },
             "pool": {
                 "workers": self.pool.config.workers,
                 "degraded": self.pool.degraded,

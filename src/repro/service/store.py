@@ -39,6 +39,7 @@ import hashlib
 import json
 import os
 import threading
+import time
 import warnings
 from pathlib import Path
 
@@ -420,9 +421,144 @@ class ArtifactStore:
             }
 
 
+class RequestJournal:
+    """Crash-safe record of accepted-but-unfinished requests.
+
+    The server journals every request it admits for *computation*
+    (store hits never touch the journal) and removes the entry once
+    the result is persisted or faulted.  A server that dies mid-batch
+    — SIGKILL, OOM, power loss — therefore leaves behind exactly the
+    entries it never finished; on restart, :meth:`sweep` returns
+    those interrupted records (entries whose recorded writer pid is
+    dead) and clears them, so the new server can report what was lost
+    and clients can resubmit (completed keys come back as cheap store
+    hits).
+
+    Durability follows the store's idioms: one JSON file, rewritten
+    via pid-tagged temp + fsync + atomic rename under an advisory
+    ``flock`` (``<path>.lock``), so a crash mid-journal-write leaves
+    the previous consistent state, never a truncated file.
+    """
+
+    SCHEMA = 1
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._mutex = threading.Lock()
+
+    def _flock(self):
+        class _Lock:
+            def __init__(self, path: Path):
+                self.path = path
+                self.handle = None
+
+            def __enter__(self):
+                if fcntl is None:
+                    return self
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self.handle = open(self.path, "w")
+                fcntl.flock(self.handle, fcntl.LOCK_EX)
+                return self
+
+            def __exit__(self, *exc):
+                if self.handle is not None:
+                    fcntl.flock(self.handle, fcntl.LOCK_UN)
+                    self.handle.close()
+
+        return _Lock(self.path.with_suffix(self.path.suffix + ".lock"))
+
+    def _read(self) -> dict:
+        """Entry-id -> record; unreadable/corrupt journals degrade to
+        empty (the store's contract: never raise on bad durable
+        state)."""
+        try:
+            data = json.loads(self.path.read_text())
+        except (OSError, ValueError):
+            return {}
+        if (
+            not isinstance(data, dict)
+            or data.get("schema") != self.SCHEMA
+            or not isinstance(data.get("entries"), dict)
+        ):
+            return {}
+        return data["entries"]
+
+    def _write(self, entries: dict) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        text = json.dumps(
+            {"schema": self.SCHEMA, "entries": entries},
+            indent=2,
+            sort_keys=True,
+        ) + "\n"
+        tmp = self.path.with_suffix(
+            f"{self.path.suffix}.{os.getpid()}.tmp"
+        )
+        with open(tmp, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        tmp.replace(self.path)
+
+    def begin(self, kind: str, key: str, label: str = "") -> str:
+        """Record one accepted-but-unfinished request; returns its
+        entry id."""
+        entry_id = f"{kind}/{key}"
+        with self._mutex, self._flock():
+            entries = self._read()
+            entries[entry_id] = {
+                "kind": kind,
+                "key": key,
+                "label": label,
+                "pid": os.getpid(),
+                "started": time.time(),
+            }
+            self._write(entries)
+        return entry_id
+
+    def finish(self, entry_id: str) -> None:
+        """Drop a completed (persisted or faulted) request's entry."""
+        with self._mutex, self._flock():
+            entries = self._read()
+            if entries.pop(entry_id, None) is not None:
+                self._write(entries)
+
+    def sweep(self) -> list[dict]:
+        """Interrupted work left by dead writers, cleared on return.
+
+        An entry whose recorded pid is still alive belongs to a live
+        server sharing the journal and is left alone.
+        """
+        with self._mutex, self._flock():
+            entries = self._read()
+            interrupted = [
+                record
+                for record in entries.values()
+                if not _pid_alive(record.get("pid", -1))
+            ]
+            if interrupted:
+                survivors = {
+                    entry_id: record
+                    for entry_id, record in entries.items()
+                    if _pid_alive(record.get("pid", -1))
+                }
+                self._write(survivors)
+        return sorted(
+            interrupted, key=lambda r: (r.get("kind", ""), r.get("key", ""))
+        )
+
+    def pending(self) -> list[dict]:
+        """Current unfinished entries (no sweep, no mutation)."""
+        with self._mutex:
+            return sorted(
+                self._read().values(),
+                key=lambda r: (r.get("kind", ""), r.get("key", "")),
+            )
+
+
 __all__ = [
     "ArtifactStore",
     "KNOWN_KINDS",
+    "RequestJournal",
     "StoreError",
     "compile_key",
     "content_key",

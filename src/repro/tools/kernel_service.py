@@ -50,10 +50,13 @@ from ..tune.schedule import ScheduleConfig
 
 _EXIT_CODES = """\
 exit codes:
-  0    success (all jobs resolved)
+  0    success (all jobs resolved; serve: clean shutdown, drained)
   1    one or more jobs faulted (results still printed)
   2    usage error (bad arguments)
   4    could not reach the server / bad request
+  70   serve: injected crash-server chaos action (abrupt, no drain)
+  130  serve: SIGINT received, drained and exited
+  143  serve: SIGTERM received, drained and exited
 """
 
 
@@ -82,6 +85,26 @@ def build_argument_parser() -> argparse.ArgumentParser:
                 help="artifact store directory (in-process mode, no "
                 "server needed)",
             )
+        sub.add_argument(
+            "--connect-timeout", type=float, default=5.0,
+            metavar="SECONDS",
+            help="socket connect timeout (default: 5)",
+        )
+        sub.add_argument(
+            "--call-timeout", type=float, default=None,
+            metavar="SECONDS",
+            help="per-call reply timeout (default: wait forever)",
+        )
+        sub.add_argument(
+            "--client-retries", type=int, default=3, metavar="N",
+            help="bounded retries for transport errors and retryable "
+            "server faults (default: 3)",
+        )
+        sub.add_argument(
+            "--breaker-threshold", type=int, default=5, metavar="N",
+            help="consecutive transport failures that open the "
+            "client circuit breaker (default: 5)",
+        )
 
     serve = commands.add_parser(
         "serve", help="run a compile server on a Unix socket"
@@ -109,6 +132,24 @@ def build_argument_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--max-bytes", type=int, default=None, metavar="N",
         help="LRU size cap for the store (default: unbounded)",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=None, metavar="N",
+        help="admission high-water mark: refuse (retryable overload "
+        "fault) past this many in-flight requests (default: "
+        "unbounded)",
+    )
+    serve.add_argument(
+        "--request-deadline", type=float, default=None,
+        metavar="SECONDS",
+        help="per-request wall-clock budget, admission to result "
+        "(default: none)",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=10.0,
+        metavar="SECONDS",
+        help="seconds a SIGTERM/SIGINT/shutdown drain gives "
+        "in-flight work before faulting it (default: 10)",
     )
 
     submit = commands.add_parser(
@@ -214,7 +255,13 @@ def _backend(parser, args):
     if socket and store:
         parser.error("--socket and --store are mutually exclusive")
     if socket:
-        return ServiceClient(socket)
+        return ServiceClient(
+            socket,
+            connect_timeout=args.connect_timeout,
+            call_timeout=args.call_timeout,
+            retries=args.client_retries,
+            breaker_threshold=args.breaker_threshold,
+        )
     if store:
         return _InProcessBackend(store)
     parser.error("one of --socket or --store is required")
@@ -296,15 +343,17 @@ def main(argv=None) -> int:
             f"({args.workers} workers)",
             file=sys.stderr,
         )
-        serve_forever(
+        return serve_forever(
             args.store,
             args.socket,
             workers=args.workers,
             deadline=args.deadline,
             retries=args.retries,
             max_bytes=args.max_bytes,
+            max_inflight=args.max_inflight,
+            request_deadline=args.request_deadline,
+            drain_timeout=args.drain_timeout,
         )
-        return 0
 
     backend = _backend(parser, args)
     try:

@@ -33,13 +33,16 @@ See ``docs/TUNING.md``, ``docs/ROBUSTNESS.md`` and
 from .cache import TuneCache
 from .faults import (
     FAULT_KINDS,
+    CancelledFault,
     CompileFault,
     Fault,
     FaultInjector,
     InjectedError,
     Injection,
+    OverloadFault,
     SimFault,
     TimeoutFault,
+    TransportFault,
     UnknownFault,
     VerifyFault,
     WorkerCrash,
@@ -65,6 +68,7 @@ from .workers import HardenedPool, PoolConfig
 
 __all__ = [
     "FAULT_KINDS",
+    "CancelledFault",
     "CandidateOutcome",
     "CompileFault",
     "Fault",
@@ -72,6 +76,7 @@ __all__ = [
     "HardenedPool",
     "InjectedError",
     "Injection",
+    "OverloadFault",
     "PoolConfig",
     "ScheduleConfig",
     "ScheduleError",
@@ -79,6 +84,7 @@ __all__ = [
     "SearchInterrupted",
     "SimFault",
     "TimeoutFault",
+    "TransportFault",
     "TuneCache",
     "TuneResult",
     "TunedSchedule",

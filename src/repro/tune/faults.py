@@ -8,7 +8,9 @@ indistinguishable, unretryable, and without provenance.  Here each
 failure becomes a :class:`Fault` value with
 
 * a **kind** (``compile``, ``verify``, ``sim``, ``timeout``,
-  ``worker-crash``, ``unknown``) that names which layer failed;
+  ``worker-crash``, ``unknown`` — plus the service-lifecycle kinds
+  ``overload``, ``transport``, ``cancelled`` used by
+  :mod:`repro.service`) that names which layer failed;
 * a **retryability** class: deterministic faults (a config that does
   not compile will never compile) are final, transient faults (a
   killed worker, a wall-clock timeout on a loaded machine) earn a
@@ -39,6 +41,10 @@ from pathlib import Path
 
 #: Environment variable the CLI consults for an injection plan.
 FAULTS_ENV = "REPRO_TUNE_FAULTS"
+
+#: Environment variable the *service* consults for an injection plan
+#: (same grammar, service-scoped actions; see ``SERVICE_ACTIONS``).
+SERVICE_FAULTS_ENV = "REPRO_SERVICE_FAULTS"
 
 
 class InjectedError(RuntimeError):
@@ -182,6 +188,34 @@ class UnknownFault(Fault):
     RETRYABLE = False
 
 
+class OverloadFault(Fault):
+    """The server refused admission: its in-flight queue is at the
+    high-water mark (``max_inflight``).  Transient by definition —
+    load drains — so retryable (with backoff) and never cached."""
+
+    KIND = "overload"
+    RETRYABLE = True
+
+
+class TransportFault(Fault):
+    """The connection to the server failed: refused, dropped
+    mid-call, reset, or never answered.  Says nothing about the job
+    itself, so retryable (the server may be restarting) and never
+    cached."""
+
+    KIND = "transport"
+    RETRYABLE = True
+
+
+class CancelledFault(Fault):
+    """The server is draining (SIGTERM/SIGINT/shutdown) and faulted
+    the request instead of finishing it.  Retryable against a
+    restarted server; never cached."""
+
+    KIND = "cancelled"
+    RETRYABLE = True
+
+
 FAULT_KINDS: dict[str, type[Fault]] = {
     cls.KIND: cls
     for cls in (
@@ -191,6 +225,9 @@ FAULT_KINDS: dict[str, type[Fault]] = {
         TimeoutFault,
         WorkerCrash,
         UnknownFault,
+        OverloadFault,
+        TransportFault,
+        CancelledFault,
     )
 }
 
@@ -230,8 +267,32 @@ def classify_error(
 
 # -- deterministic fault injection ----------------------------------------------
 
-#: Injection actions the harness understands.
-INJECTION_ACTIONS = ("crash", "delay", "raise", "interrupt")
+#: Injection actions the *tuner* harness understands (applied at
+#: candidate-measurement dispatch, see :meth:`FaultInjector.for_attempt`).
+TUNE_ACTIONS = ("crash", "delay", "raise", "interrupt")
+
+#: Injection actions the *service* harness understands (applied at the
+#: wire/admission layer, keyed by request sequence number — see
+#: :meth:`FaultInjector.for_request` and ``repro.service.client``):
+#:
+#: * ``drop-connection`` — close the client's connection before
+#:   replying (the client observes EOF mid-call);
+#: * ``delay-response`` — stall the reply ``value`` seconds (drives
+#:   client call timeouts);
+#: * ``crash-server`` — tear the whole server down abruptly: no
+#:   drain, no reply, listener and connections closed (exit code
+#:   ``EXIT_CRASH``);
+#: * ``reject-admission`` — refuse the request with a retryable
+#:   :class:`OverloadFault`, as if the in-flight queue were full.
+SERVICE_ACTIONS = (
+    "drop-connection",
+    "delay-response",
+    "crash-server",
+    "reject-admission",
+)
+
+#: Every action either harness understands.
+INJECTION_ACTIONS = TUNE_ACTIONS + SERVICE_ACTIONS
 
 
 @dataclass(frozen=True)
@@ -303,11 +364,32 @@ class FaultInjector:
         for injection in self.plan:
             if injection.index != index:
                 continue
+            if injection.action in SERVICE_ACTIONS:
+                continue  # wire-layer actions; see for_request
             if serial and injection.action == "crash":
                 continue  # no worker process to kill
             if not serial and injection.action == "interrupt":
                 continue  # driver-side action; needs the driver's thread
             if injection.sticky or attempt == 1:
+                return injection
+        return None
+
+    def for_request(self, index: int) -> Injection | None:
+        """The service-scoped injection to apply to admitted request
+        ``index`` (0-based, counted over job-bearing messages in
+        admission order), or None.
+
+        Only ``SERVICE_ACTIONS`` fire here; a plan can mix tuner and
+        service actions and each harness picks out its own.  Requests
+        have no attempt axis on the server side (a client retry
+        arrives as a fresh request index), so ``sticky`` is
+        meaningless and ignored.
+        """
+        for injection in self.plan:
+            if (
+                injection.index == index
+                and injection.action in SERVICE_ACTIONS
+            ):
                 return injection
         return None
 
@@ -372,13 +454,19 @@ __all__ = [
     "FAULT_KINDS",
     "FAULTS_ENV",
     "INJECTION_ACTIONS",
+    "SERVICE_ACTIONS",
+    "SERVICE_FAULTS_ENV",
+    "TUNE_ACTIONS",
+    "CancelledFault",
     "CompileFault",
     "Fault",
     "FaultInjector",
     "InjectedError",
     "Injection",
+    "OverloadFault",
     "SimFault",
     "TimeoutFault",
+    "TransportFault",
     "UnknownFault",
     "VerifyFault",
     "WorkerCrash",
