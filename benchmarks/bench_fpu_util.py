@@ -1,0 +1,158 @@
+"""FPU-utilization benchmark: the paper's Table 1 methodology.
+
+Profiles every Table 1 kernel through every named pipeline with the
+cycle-attribution profiler (:mod:`repro.obs.profiler`) attached and
+reports, per (kernel, pipeline) cell: total cycles, FLOPs, FLOPs per
+cycle, FPU utilization, and the full cycle breakdown — FPU arithmetic,
+FPU non-arith, FPU stalls, integer core, SSR drain waits, branch
+bubbles — split by region (FREP body vs. scalar code).
+
+Every cell asserts the profiler's partition invariant: the buckets sum
+*exactly* to the run's total cycles (no idle, no double counting), and
+the ``fpu_arith`` bucket equals the trace's own FPU-arithmetic count.
+
+Run as a script to (re)generate ``results/BENCH_fpu_util.json``::
+
+    PYTHONPATH=src python benchmarks/bench_fpu_util.py
+
+With ``BENCH_FPU_SMOKE=1`` only a three-kernel subset runs against
+the ``ours`` / ``table3-baseline`` pipelines (CI uses this; the
+assertions and JSON schema are identical to the full profile).
+
+JSON schema (``schema`` = 1)::
+
+    {
+      "schema": 1, "smoke": false, "seed": 0, "engine_version": 1,
+      "pipelines": ["ours", ...],
+      "kernels": {
+        "<kernel>": {
+          "sizes": [..],
+          "<pipeline>": {
+            "cycles": .., "flops": .., "flops_per_cycle": ..,
+            "fpu_utilization": ..,
+            "buckets": {"fpu_arith": .., "fpu_nonarith": ..,
+                        "fpu_stall": .., "int_core": ..,
+                        "ssr_wait": .., "branch_bubble": ..},
+            "regions": {"scalar": {...}, "frep_body": {...}},
+            "idle": 0
+          }, ...
+        }, ...
+      }
+    }
+"""
+
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(__file__), "..", "src")
+)
+
+from repro.snitch.engine import ENGINE_VERSION  # noqa: E402
+from repro.tools.kernel_profiler import profile_kernel  # noqa: E402
+from repro.transforms.pipelines import PIPELINE_NAMES  # noqa: E402
+
+RESULTS_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "results", "BENCH_fpu_util.json"
+)
+
+SEED = 0
+
+#: Table 1 kernels at representative (TCDM-friendly) shapes.
+PAPER_KERNELS = (
+    ("fill", (8, 16)),
+    ("sum", (8, 16)),
+    ("relu", (8, 16)),
+    ("conv3x3", (8, 8)),
+    ("max_pool3x3", (8, 8)),
+    ("sum_pool3x3", (8, 8)),
+    ("matmul", (4, 8, 8)),
+    ("matmul_t", (4, 8, 8)),
+    ("matvec", (8, 16)),
+)
+
+SMOKE_KERNELS = ("matmul", "relu", "conv3x3")
+SMOKE_PIPELINES = ("ours", "table3-baseline")
+
+
+def profile_cell(kernel: str, sizes, pipeline: str) -> dict:
+    """One (kernel, pipeline) profile with the invariants asserted."""
+    profile, result = profile_kernel(
+        kernel, tuple(sizes), pipeline=pipeline, seed=SEED
+    )
+    cell = profile.to_json()
+    total = sum(cell["buckets"].values())
+    assert total == cell["cycles"], (
+        f"{kernel}/{pipeline}: buckets sum to {total}, "
+        f"cycles are {cell['cycles']}"
+    )
+    assert cell["idle"] == 0, f"{kernel}/{pipeline}: idle cycles"
+    assert (
+        cell["buckets"]["fpu_arith"]
+        == result.trace.fpu_arith_cycles
+    ), f"{kernel}/{pipeline}: fpu_arith disagrees with the trace"
+    region_total = sum(
+        sum(buckets.values()) for buckets in cell["regions"].values()
+    )
+    assert region_total == cell["cycles"], (
+        f"{kernel}/{pipeline}: regions sum to {region_total}"
+    )
+    return cell
+
+
+def run_benchmark(smoke: bool = False) -> dict:
+    """Profile the suite; returns the results document."""
+    kernels = [
+        (name, sizes)
+        for name, sizes in PAPER_KERNELS
+        if not smoke or name in SMOKE_KERNELS
+    ]
+    pipelines = [
+        name
+        for name in PIPELINE_NAMES
+        if not smoke or name in SMOKE_PIPELINES
+    ]
+    results: dict = {
+        "schema": 1,
+        "smoke": smoke,
+        "seed": SEED,
+        "engine_version": ENGINE_VERSION,
+        "pipelines": list(pipelines),
+        "kernels": {},
+    }
+    for kernel, sizes in kernels:
+        row: dict = {"sizes": list(sizes)}
+        for pipeline in pipelines:
+            row[pipeline] = profile_cell(kernel, sizes, pipeline)
+            print(
+                f"{kernel:<12} {pipeline:<16} "
+                f"{row[pipeline]['cycles']:>7} cycles  "
+                f"{100.0 * row[pipeline]['fpu_utilization']:5.1f}% "
+                f"fpu",
+                file=sys.stderr,
+            )
+        results["kernels"][kernel] = row
+    return results
+
+
+def main() -> int:
+    smoke = bool(os.environ.get("BENCH_FPU_SMOKE"))
+    results = run_benchmark(smoke=smoke)
+    os.makedirs(os.path.dirname(RESULTS_PATH), exist_ok=True)
+    with open(RESULTS_PATH, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    cells = sum(
+        len(row) - 1 for row in results["kernels"].values()
+    )
+    print(
+        f"wrote {RESULTS_PATH} "
+        f"({len(results['kernels'])} kernels x "
+        f"{len(results['pipelines'])} pipelines, {cells} cells)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

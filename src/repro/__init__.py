@@ -15,6 +15,8 @@ Public entry points:
   ("ours", the Table 3 ablation stages, the "clang"/"mlir" baselines),
   declared as spec strings;
 * :mod:`repro.snitch` — the Snitch core simulation substrate;
+* :mod:`repro.obs` — observability: metrics registry, span tracing
+  with correlation IDs, and the Table 1 cycle-attribution profiler;
 * :mod:`repro.ir`, :mod:`repro.dialects`, :mod:`repro.backend` — the IR
   framework, dialect definitions and backend components.
 """

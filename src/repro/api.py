@@ -31,6 +31,9 @@ class KernelRun:
     #: Final contents of each array argument, in argument order
     #: (``None`` for scalar arguments).
     arrays: list[np.ndarray | None]
+    #: Cycle attribution (:class:`repro.obs.profiler.CycleProfile`)
+    #: when ``run_kernel(..., profile=True)``; ``None`` otherwise.
+    profile: object | None = None
 
 
 def _store_fast_path(store, module: ModuleOp, compiler: Compiler, extra=""):
@@ -117,6 +120,7 @@ def run_kernel(
     arguments: list[np.ndarray | float],
     max_instructions: int = 50_000_000,
     deadline_seconds: float | None = None,
+    profile: bool = False,
 ) -> KernelRun:
     """Simulate a compiled kernel on fresh TCDM contents.
 
@@ -127,6 +131,11 @@ def run_kernel(
     arms the simulator's cooperative wall-clock watchdog: a run that
     exceeds it raises :class:`~repro.snitch.machine.DeadlineExceeded`
     instead of monopolising the process.
+
+    ``profile=True`` attaches the cycle-attribution profiler
+    (:mod:`repro.obs.profiler`) and runs on the reference interpreter
+    (bit-exact with the engine, slower); ``KernelRun.profile`` then
+    carries the per-bucket breakdown and FPU utilization.
     """
     memory = TCDM()
     int_args: dict[str, int] = {}
@@ -149,11 +158,22 @@ def run_kernel(
         compiled.program,
         memory,
         max_instructions=max_instructions,
+        record_timeline=profile,
         deadline_seconds=deadline_seconds,
     )
-    trace = machine.run(
-        compiled.entry, int_args=int_args, float_args=float_args
-    )
+    cycle_profile = None
+    if profile:
+        from .obs.profiler import CycleProfiler
+
+        profiler = CycleProfiler.attach(machine)
+        trace = machine.run_reference(
+            compiled.entry, int_args=int_args, float_args=float_args
+        )
+        cycle_profile = profiler.finalize(machine)
+    else:
+        trace = machine.run(
+            compiled.entry, int_args=int_args, float_args=float_args
+        )
     arrays: list[np.ndarray | None] = []
     for placement in placements:
         if placement is None:
@@ -163,7 +183,7 @@ def run_kernel(
         arrays.append(
             memory.read_array(base, original.shape, original.dtype)
         )
-    return KernelRun(trace=trace, arrays=arrays)
+    return KernelRun(trace=trace, arrays=arrays, profile=cycle_profile)
 
 
 __all__ = [

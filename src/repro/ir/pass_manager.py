@@ -13,6 +13,8 @@ import sys
 import time
 from typing import Callable, Sequence
 
+from ..obs.metrics import METRICS
+from ..obs.tracing import span
 from .core import Operation
 from .printer import print_op
 from .rewriter import REWRITE_STATS
@@ -126,9 +128,13 @@ class PassManager:
                 self.instrument.before_pass(pass_, module)
             stats_before = REWRITE_STATS.snapshot()
             start = time.perf_counter()
-            pass_.run(module)
+            with span(f"pass.{pass_.name}"):
+                pass_.run(module)
             elapsed = time.perf_counter() - start
             self.timings.append((pass_.name, elapsed))
+            METRICS.histogram(
+                "compile_pass_seconds", **{"pass": pass_.name}
+            ).observe(elapsed)
             self.pass_stats.append(
                 (pass_.name, REWRITE_STATS.delta(stats_before))
             )

@@ -23,34 +23,68 @@ from __future__ import annotations
 from collections import deque
 from typing import Iterable, Sequence
 
+from ..obs.metrics import METRICS
 from .core import Block, IRError, Operation, Region, SSAValue
 
 
 class RewriteStats:
-    """Global pattern-driver counters (ops visited, invocations, rewrites).
+    """Pattern-driver counters (ops visited, invocations, rewrites).
 
     ``PassManager`` snapshots these around each pass; the compile-time
     benchmark and the ``perf_smoke`` tests read them to track driver
     efficiency across PRs.
+
+    Since PR 10 this is a thin view over ``ir_rewrite_*`` counters in
+    the observability registry (:data:`repro.obs.metrics.METRICS`), so
+    concurrent compiles — the service's thread-per-connection loop —
+    update them atomically.  The drivers accumulate plain local ints in
+    their hot loops and flush once per ``apply_patterns`` call via
+    :meth:`add`, so the migration costs the hot path nothing.
     """
 
-    __slots__ = ("ops_visited", "pattern_invocations", "rewrites_applied")
+    __slots__ = ("_visited", "_invoked", "_applied")
 
-    def __init__(self):
-        self.reset()
+    def __init__(self, registry=None):
+        registry = registry if registry is not None else METRICS
+        self._visited = registry.counter("ir_rewrite_ops_visited")
+        self._invoked = registry.counter("ir_rewrite_pattern_invocations")
+        self._applied = registry.counter("ir_rewrite_rewrites_applied")
+
+    def add(
+        self, visited: int = 0, invoked: int = 0, applied: int = 0
+    ) -> None:
+        """Atomically flush a driver's locally accumulated counts."""
+        if visited:
+            self._visited.inc(visited)
+        if invoked:
+            self._invoked.inc(invoked)
+        if applied:
+            self._applied.inc(applied)
+
+    @property
+    def ops_visited(self) -> int:
+        return self._visited.value
+
+    @property
+    def pattern_invocations(self) -> int:
+        return self._invoked.value
+
+    @property
+    def rewrites_applied(self) -> int:
+        return self._applied.value
 
     def reset(self) -> None:
         """Zero all counters."""
-        self.ops_visited = 0
-        self.pattern_invocations = 0
-        self.rewrites_applied = 0
+        self._visited.set(0)
+        self._invoked.set(0)
+        self._applied.set(0)
 
     def snapshot(self) -> dict[str, int]:
         """The current counter values as a plain dict."""
         return {
-            "ops_visited": self.ops_visited,
-            "pattern_invocations": self.pattern_invocations,
-            "rewrites_applied": self.rewrites_applied,
+            "ops_visited": self._visited.value,
+            "pattern_invocations": self._invoked.value,
+            "rewrites_applied": self._applied.value,
         }
 
     def delta(self, since: dict[str, int]) -> dict[str, int]:
@@ -333,64 +367,72 @@ def apply_patterns(
     rewrite_budget = max_iterations * max(1, seed_size)
     changed_any = False
     rewrites = 0
+    # Local accumulators; flushed to the shared atomic counters once
+    # per call (including on divergence) so the hot loop stays lockless.
+    visited = invoked = applied = 0
 
     def enqueue(op: Operation) -> None:
         if id(op) not in enqueued and patterns_for(type(op)):
             enqueued.add(id(op))
             worklist.append(op)
 
-    while worklist:
-        op = worklist.popleft()
-        enqueued.discard(id(op))
-        # Drop stale entries: ops erased since being enqueued, including
-        # ops nested inside an erased ancestor (their own parent link is
-        # still set — only the subtree root was detached).
-        if op is not root and not op.is_attached_to(root):
-            continue
-        stats.ops_visited += 1
-        for pattern in patterns_for(type(op)):
-            stats.pattern_invocations += 1
-            rewriter = PatternRewriter(op)
-            pattern.match_and_rewrite(op, rewriter)
-            if not rewriter.changed:
+    try:
+        while worklist:
+            op = worklist.popleft()
+            enqueued.discard(id(op))
+            # Drop stale entries: ops erased since being enqueued,
+            # including ops nested inside an erased ancestor (their own
+            # parent link is still set — only the subtree root was
+            # detached).
+            if op is not root and not op.is_attached_to(root):
                 continue
-            stats.rewrites_applied += 1
-            changed_any = True
-            rewrites += 1
-            if rewrites > rewrite_budget:
-                raise IRError("pattern application did not converge")
-            for new_op in rewriter.added_ops:
-                if new_op.parent is None:
+            visited += 1
+            for pattern in patterns_for(type(op)):
+                invoked += 1
+                rewriter = PatternRewriter(op)
+                pattern.match_and_rewrite(op, rewriter)
+                if not rewriter.changed:
                     continue
-                if new_op.regions:
-                    for nested in new_op.walk():
-                        enqueue(nested)
-                else:
-                    enqueue(new_op)
-            for value in rewriter.replaced_values:
-                for use in value.uses:
-                    enqueue(use.operation)
-            for value in rewriter.freed_values:
-                # An erasure dropped a use: the producer may now be
-                # dead, and remaining users may match differently
-                # (e.g. single-use fusion guards).
-                owner = value.owner
-                if isinstance(owner, Operation):
-                    enqueue(owner)
-                for use in value.uses:
-                    enqueue(use.operation)
-            for neighbour in rewriter.adjacent_ops:
-                if neighbour.parent is not None:
-                    enqueue(neighbour)
-            if op.parent is not None or op is root:
-                # In-place update: revisit the op and anything nested
-                # under it (a pattern may swap whole body blocks).
-                if op.regions:
-                    for nested in op.walk():
-                        enqueue(nested)
-                else:
-                    enqueue(op)
-            break
+                applied += 1
+                changed_any = True
+                rewrites += 1
+                if rewrites > rewrite_budget:
+                    raise IRError("pattern application did not converge")
+                for new_op in rewriter.added_ops:
+                    if new_op.parent is None:
+                        continue
+                    if new_op.regions:
+                        for nested in new_op.walk():
+                            enqueue(nested)
+                    else:
+                        enqueue(new_op)
+                for value in rewriter.replaced_values:
+                    for use in value.uses:
+                        enqueue(use.operation)
+                for value in rewriter.freed_values:
+                    # An erasure dropped a use: the producer may now be
+                    # dead, and remaining users may match differently
+                    # (e.g. single-use fusion guards).
+                    owner = value.owner
+                    if isinstance(owner, Operation):
+                        enqueue(owner)
+                    for use in value.uses:
+                        enqueue(use.operation)
+                for neighbour in rewriter.adjacent_ops:
+                    if neighbour.parent is not None:
+                        enqueue(neighbour)
+                if op.parent is not None or op is root:
+                    # In-place update: revisit the op and anything
+                    # nested under it (a pattern may swap whole body
+                    # blocks).
+                    if op.regions:
+                        for nested in op.walk():
+                            enqueue(nested)
+                    else:
+                        enqueue(op)
+                break
+    finally:
+        stats.add(visited, invoked, applied)
     return changed_any
 
 
@@ -408,26 +450,30 @@ def apply_patterns_naive(
     pattern_list = list(patterns)
     stats = REWRITE_STATS
     changed_any = False
-    for _ in range(max_iterations):
-        changed_this_round = False
-        for op in list(root.walk()):
-            if op is not root and not op.is_attached_to(root):
-                continue  # erased by an earlier pattern this round
-            stats.ops_visited += 1
-            for pattern in pattern_list:
-                stats.pattern_invocations += 1
-                rewriter = PatternRewriter(op)
-                pattern.match_and_rewrite(op, rewriter)
-                if rewriter.changed:
-                    stats.rewrites_applied += 1
-                    changed_this_round = True
-                    changed_any = True
-                    break
-            # A changed op may have been erased; move on to a fresh walk
-            # entry either way.
-        if not changed_this_round:
-            return changed_any
-    raise IRError("pattern application did not converge")
+    visited = invoked = applied = 0
+    try:
+        for _ in range(max_iterations):
+            changed_this_round = False
+            for op in list(root.walk()):
+                if op is not root and not op.is_attached_to(root):
+                    continue  # erased by an earlier pattern this round
+                visited += 1
+                for pattern in pattern_list:
+                    invoked += 1
+                    rewriter = PatternRewriter(op)
+                    pattern.match_and_rewrite(op, rewriter)
+                    if rewriter.changed:
+                        applied += 1
+                        changed_this_round = True
+                        changed_any = True
+                        break
+                # A changed op may have been erased; move on to a fresh
+                # walk entry either way.
+            if not changed_this_round:
+                return changed_any
+        raise IRError("pattern application did not converge")
+    finally:
+        stats.add(visited, invoked, applied)
 
 
 __all__ = [

@@ -5,13 +5,27 @@ stdlib, authenticated by filesystem permissions on the socket path,
 and message-framed, so the protocol is plain dicts:
 
     request:  {"op": "submit", "request": <ServiceRequest JSON>,
-               "deadline": <seconds|absent>}
+               "deadline": <seconds|absent>,
+               "corr_id": <hex|absent>, "trace": <bool|absent>}
               {"op": "batch", "requests": [<ServiceRequest JSON>, ...],
-               "deadline": <seconds|absent>}
+               "deadline": <seconds|absent>,
+               "corr_id": <hex|absent>, "trace": <bool|absent>}
               {"op": "stats"} | {"op": "gc", "max_bytes": N|null}
               {"op": "ping"} | {"op": "shutdown"}
     reply:    {"ok": true, ...}   on success
               {"ok": false, "error": "..."} on a protocol-level error
+
+Observability rides the same dicts: the client mints a correlation id
+per call (``corr_id``), the server resolves the request under it —
+every span and log line on the way down to the simulator carries that
+id, and each result echoes it back (``correlation_id``).  When the
+client has tracing active (:mod:`repro.obs.tracing`), ``trace: true``
+asks the server to record its spans (including pool-worker spans) and
+return them on the reply (``spans``), which the client absorbs into
+its own recorder — one Perfetto-loadable timeline across client,
+server, worker and simulator.  Setting ``REPRO_SERVICE_LOG=1`` in the
+server's environment logs one line per served request (label, source,
+latency, correlation id) to stderr.
 
 Job-level failures are never protocol errors: a submit/batch reply is
 ``ok`` with each result carrying its own structured ``fault`` (the
@@ -56,9 +70,19 @@ import socket
 import sys
 import threading
 import time
+from contextlib import ExitStack
 from multiprocessing.connection import Connection, Listener
 from pathlib import Path
 
+from ..obs.tracing import (
+    absorb,
+    correlation,
+    correlation_id,
+    new_correlation_id,
+    recording,
+    span,
+    tracing_enabled,
+)
 from ..tune.faults import (
     SERVICE_FAULTS_ENV,
     Fault,
@@ -224,6 +248,27 @@ def _clear_stale_socket(socket_path: Path) -> None:
         probe.close()
 
 
+#: Env var that, when set (to anything non-empty), makes the serve
+#: loop log one stderr line per served request — label, artifact
+#: source, latency and the request's correlation id, so served
+#: traffic can be grepped by corr id straight out of the logs.
+SERVICE_LOG_ENV = "REPRO_SERVICE_LOG"
+
+
+def _log_served(op: str, results) -> None:
+    if not os.environ.get(SERVICE_LOG_ENV):
+        return
+    for result in results:
+        fault = result.fault.kind if result.fault is not None else "-"
+        print(
+            f"[kernel-service] op={op} label={result.request.label()} "
+            f"source={result.source} fault={fault} "
+            f"latency={result.latency:.3f}s "
+            f"corr_id={result.correlation_id or '-'}",
+            file=sys.stderr,
+        )
+
+
 def _dispatch(
     server: CompileServer,
     message,
@@ -256,36 +301,53 @@ def _dispatch(
             deadline = message.get("deadline")
             if deadline is not None:
                 deadline = float(deadline)
-            if op == "submit":
-                request = ServiceRequest.from_json(message["request"])
-                if (
-                    injection is not None
-                    and injection.action == "reject-admission"
-                ):
-                    result = server.reject(request)
+            corr_id = message.get("corr_id") or None
+            recorder = None
+            with ExitStack() as stack:
+                stack.enter_context(correlation(corr_id))
+                if message.get("trace"):
+                    recorder = stack.enter_context(recording())
+                if op == "submit":
+                    request = ServiceRequest.from_json(
+                        message["request"]
+                    )
+                    if (
+                        injection is not None
+                        and injection.action == "reject-admission"
+                    ):
+                        result = server.reject(request)
+                    else:
+                        result = server.submit(
+                            request, deadline=deadline
+                        )
+                    reply = {"ok": True, "result": result.to_json()}
+                    _log_served(op, [result])
                 else:
-                    result = server.submit(request, deadline=deadline)
-                reply = {"ok": True, "result": result.to_json()}
-            else:
-                requests = [
-                    ServiceRequest.from_json(entry)
-                    for entry in message.get("requests", [])
-                ]
-                if (
-                    injection is not None
-                    and injection.action == "reject-admission"
-                ):
-                    results = [
-                        server.reject(request) for request in requests
+                    requests = [
+                        ServiceRequest.from_json(entry)
+                        for entry in message.get("requests", [])
                     ]
-                else:
-                    results = server.batch(requests, deadline=deadline)
-                reply = {
-                    "ok": True,
-                    "results": [
-                        result.to_json() for result in results
-                    ],
-                }
+                    if (
+                        injection is not None
+                        and injection.action == "reject-admission"
+                    ):
+                        results = [
+                            server.reject(request)
+                            for request in requests
+                        ]
+                    else:
+                        results = server.batch(
+                            requests, deadline=deadline
+                        )
+                    reply = {
+                        "ok": True,
+                        "results": [
+                            result.to_json() for result in results
+                        ],
+                    }
+                    _log_served(op, results)
+            if recorder is not None:
+                reply["spans"] = recorder.events_json()
             if (
                 injection is not None
                 and injection.action == "delay-response"
@@ -733,6 +795,7 @@ class ServiceClient:
         self,
         request: ServiceRequest,
         deadline: float | None = None,
+        corr_id: str | None = None,
     ) -> dict:
         """Resolve one request; returns the ServiceResult as JSON.
 
@@ -740,56 +803,93 @@ class ServiceClient:
         deadline) are retried with backoff just like transport
         failures — the store makes the retry cheap.  Deterministic
         faults come back immediately on the result.
+
+        A correlation id is minted per call (inherited from an
+        enclosing :func:`repro.obs.tracing.correlation` scope, or
+        passed explicitly as ``corr_id``); it rides the wire, tags
+        every server/worker/simulator span, and comes back on the
+        result as ``correlation_id``.
         """
-        message: dict = {"op": "submit", "request": request.to_json()}
+        cid = corr_id or correlation_id() or new_correlation_id()
+        message: dict = {
+            "op": "submit",
+            "request": request.to_json(),
+            "corr_id": cid,
+        }
         if deadline is not None:
             message["deadline"] = deadline
+        if tracing_enabled():
+            message["trace"] = True
         attempt = 0
-        while True:
-            attempt += 1
-            result = self._call(message)["result"]
-            if not self._retryable(result) or attempt > self.retries:
-                return result
-            self._sleep_backoff(attempt)
+        with correlation(cid), span(
+            "client.submit", label=request.label()
+        ):
+            while True:
+                attempt += 1
+                reply = self._call(message)
+                absorb(reply.get("spans"))
+                result = reply["result"]
+                if (
+                    not self._retryable(result)
+                    or attempt > self.retries
+                ):
+                    return result
+                self._sleep_backoff(attempt)
 
     def batch(
         self,
         requests: list[ServiceRequest],
         deadline: float | None = None,
+        corr_id: str | None = None,
     ) -> list[dict]:
         """Resolve a batch; one result JSON per request, in order.
 
         Slots that come back with *retryable* faults (overload,
         drain, deadline) are resubmitted as a smaller batch, up to
         the retry budget; everything else keeps its first result.
+        The whole batch (retries included) shares one correlation id.
         """
+        cid = corr_id or correlation_id() or new_correlation_id()
         message: dict = {
             "op": "batch",
             "requests": [r.to_json() for r in requests],
+            "corr_id": cid,
         }
         if deadline is not None:
             message["deadline"] = deadline
-        results = self._call(message)["results"]
-        for attempt in range(1, self.retries + 1):
-            positions = [
-                pos
-                for pos, result in enumerate(results)
-                if self._retryable(result)
-            ]
-            if not positions:
-                break
-            self._sleep_backoff(attempt)
-            retry_message: dict = {
-                "op": "batch",
-                "requests": [
-                    requests[pos].to_json() for pos in positions
-                ],
-            }
-            if deadline is not None:
-                retry_message["deadline"] = deadline
-            fresh = self._call(retry_message)["results"]
-            for pos, result in zip(positions, fresh):
-                results[pos] = result
+        if tracing_enabled():
+            message["trace"] = True
+        with correlation(cid), span(
+            "client.batch", size=len(requests)
+        ):
+            reply = self._call(message)
+            absorb(reply.get("spans"))
+            results = reply["results"]
+            for attempt in range(1, self.retries + 1):
+                positions = [
+                    pos
+                    for pos, result in enumerate(results)
+                    if self._retryable(result)
+                ]
+                if not positions:
+                    break
+                self._sleep_backoff(attempt)
+                retry_message: dict = {
+                    "op": "batch",
+                    "requests": [
+                        requests[pos].to_json() for pos in positions
+                    ],
+                    "corr_id": cid,
+                }
+                if deadline is not None:
+                    retry_message["deadline"] = deadline
+                if tracing_enabled():
+                    retry_message["trace"] = True
+                reply = self._call(retry_message)
+                absorb(reply.get("spans"))
+                fresh = reply["results"]
+                for pos, result in zip(positions, fresh):
+                    results[pos] = result
         return results
 
     def stats(self) -> dict:
@@ -806,6 +906,7 @@ class ServiceClient:
 
 __all__ = [
     "DRAIN_TIMEOUT_DEFAULT",
+    "SERVICE_LOG_ENV",
     "EXIT_CRASH",
     "EXIT_OK",
     "EXIT_SIGINT",

@@ -32,10 +32,20 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field, replace as _replace
 
 from ..compiler import CompiledKernel, Compiler
 from ..kernels import networks
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import (
+    absorb,
+    correlation,
+    correlation_id,
+    recording,
+    span,
+    tracing_enabled,
+)
 from ..snitch import engine
 from ..tune.faults import (
     CancelledFault,
@@ -149,6 +159,12 @@ class ServiceResult:
     source: str
     #: Submit-to-result wall-clock seconds.
     latency: float
+    #: The correlation ID this request was served under ("" when the
+    #: caller did not send one) — minted by :class:`ServiceClient`,
+    #: carried on the wire message, echoed here and in the server's
+    #: recent-request stats so one request can be joined across
+    #: client, server, worker and simulator spans.
+    correlation_id: str = ""
 
     @property
     def ok(self) -> bool:
@@ -172,6 +188,7 @@ class ServiceResult:
             "fault": self.fault.to_json() if self.fault else None,
             "source": self.source,
             "latency": self.latency,
+            "correlation_id": self.correlation_id,
         }
 
 
@@ -200,11 +217,20 @@ def request_key(request: ServiceRequest) -> tuple[str, str]:
 
 
 def _service_task(task) -> tuple[dict | None, dict | None]:
-    """One job in a pool worker: (payload, fault_json), never raises."""
+    """One job in a pool worker: (payload, fault_json), never raises.
+
+    When the payload asks for tracing (``trace`` + ``corr_id``), the
+    worker records its spans locally — pool workers are forked
+    processes, so the caller's recorder is out of reach — and smuggles
+    them back inside the artifact dict under ``"__spans__"``, which
+    :class:`CompileServer` pops (and re-emits) before persisting the
+    artifact to the store.
+    """
     payload, _injection = task
     deadline = payload.get("deadline")
     stage: list[str] = ["prepare"]
-    try:
+
+    def job() -> dict:
         request = ServiceRequest.from_json(payload["request"])
         if request.kind == "compile":
             stage[:] = ["compile"]
@@ -213,7 +239,7 @@ def _service_task(task) -> tuple[dict | None, dict | None]:
             )
             module, _ = builder(*sizes)
             compiled = Compiler(request.pipeline).compile(module)
-            return compiled.to_json(), None
+            return compiled.to_json()
         cycles = evaluate_config(
             request.kernel,
             request.sizes,
@@ -223,7 +249,17 @@ def _service_task(task) -> tuple[dict | None, dict | None]:
             deadline_seconds=deadline,
             stage_out=stage,
         )
-        return {"cycles": cycles}, None
+        return {"cycles": cycles}
+
+    try:
+        if not payload.get("trace"):
+            return job(), None
+        with recording() as recorder:
+            with correlation(payload.get("corr_id")):
+                with span("worker.job", label=payload["request"].get("kernel")):
+                    artifact = job()
+        artifact["__spans__"] = recorder.events_json()
+        return artifact, None
     except KeyboardInterrupt:
         raise
     except Exception as error:  # classify, don't propagate
@@ -300,31 +336,62 @@ class CompileServer:
         #: Signalled whenever the in-flight request count drops —
         #: :meth:`drain` waits on it.
         self._idle = threading.Condition(self._mutex)
-        self._counters = {
-            "requests": 0,
-            "store_hits": 0,
-            "computed": 0,
-            "deduped_in_batch": 0,
-            "joined_inflight": 0,
-            "faults": 0,
-            "rejected_overload": 0,
-            "rejected_draining": 0,
-            "deadline_expired": 0,
-        }
+        #: Per-server metrics (private registry: one server per test
+        #: must not see another's traffic).  The historical counter
+        #: names are pre-registered so :meth:`stats` always reports
+        #: the full set, zeros included.
+        self.metrics = MetricsRegistry()
+        for name in self._COUNTER_NAMES:
+            self.metrics.counter(name)
         self._fault_kinds: dict[str, int] = {}
+        #: Most recent requests (key, correlation id, source,
+        #: latency) — the stats-side echo of the correlation IDs.
+        self._recent: deque[dict] = deque(maxlen=32)
+
+    _COUNTER_NAMES = (
+        "requests",
+        "store_hits",
+        "computed",
+        "deduped_in_batch",
+        "joined_inflight",
+        "faults",
+        "rejected_overload",
+        "rejected_draining",
+        "deadline_expired",
+    )
 
     # -- bookkeeping ----------------------------------------------------------
 
     def _count(self, name: str, by: int = 1) -> None:
-        with self._mutex:
-            self._counters[name] += by
+        self.metrics.counter(name).inc(by)
 
     def _record_fault(self, fault: Fault) -> None:
+        self.metrics.counter("faults").inc()
         with self._mutex:
-            self._counters["faults"] += 1
             self._fault_kinds[fault.kind] = (
                 self._fault_kinds.get(fault.kind, 0) + 1
             )
+
+    def _finish(self, result: ServiceResult) -> ServiceResult:
+        """Stamp the context's correlation ID on a resolved result and
+        record it in the latency histogram + recent-request ring."""
+        cid = correlation_id() or ""
+        result.correlation_id = cid
+        self.metrics.histogram(
+            "request_latency_seconds", source=result.source
+        ).observe(result.latency)
+        with self._mutex:
+            self._recent.append(
+                {
+                    "kind": result.request.kind,
+                    "label": result.request.label(),
+                    "key": result.key,
+                    "correlation_id": cid,
+                    "source": result.source,
+                    "latency": result.latency,
+                }
+            )
+        return result
 
     def _fail(
         self,
@@ -411,7 +478,7 @@ class CompileServer:
         the ``reject-admission`` chaos injection uses this to make an
         injected overload indistinguishable from a real one."""
         self._count("requests")
-        return self._refuse(request, reason, time.monotonic())
+        return self._finish(self._refuse(request, reason, time.monotonic()))
 
     def _enforce_deadline(
         self, result: ServiceResult, budget: float | None
@@ -516,12 +583,13 @@ class CompileServer:
         )
         reason = self._admit(1)
         if reason is not None:
-            return self._refuse(request, reason, t0)
+            return self._finish(self._refuse(request, reason, t0))
         try:
-            result = self._resolve(request, t0, budget)
+            with span("server.submit", label=request.label()):
+                result = self._resolve(request, t0, budget)
         finally:
             self._release(1)
-        return self._enforce_deadline(result, budget)
+        return self._finish(self._enforce_deadline(result, budget))
 
     def _resolve(
         self,
@@ -619,6 +687,14 @@ class CompileServer:
             self._inflight[key] = record
             return record, True
 
+    @staticmethod
+    def _pop_spans(payload):
+        """Strip (and re-emit) worker spans smuggled in an artifact —
+        they must never be persisted to the content-addressed store."""
+        if isinstance(payload, dict):
+            absorb(payload.pop("__spans__", None))
+        return payload
+
     def _compute(
         self,
         request: ServiceRequest,
@@ -636,6 +712,8 @@ class CompileServer:
         task_payload = {
             "request": request.to_json(),
             "deadline": self._job_deadline(deadline_at),
+            "trace": tracing_enabled(),
+            "corr_id": correlation_id(),
         }
         entry_id = (
             self.journal.begin(kind, key, request.label())
@@ -647,6 +725,7 @@ class CompileServer:
                 [(payload, fault_json)] = self.pool.map(
                     [(0, request.label(), task_payload)]
                 )
+            payload = self._pop_spans(payload)
             if fault_json is None:
                 self.store.put(kind, key, payload)
         finally:
@@ -706,15 +785,16 @@ class CompileServer:
         reason = self._admit(len(requests))
         if reason is not None:
             return [
-                self._refuse(request, reason, t0)
+                self._finish(self._refuse(request, reason, t0))
                 for request in requests
             ]
         try:
-            results = self._resolve_batch(requests, t0, budget)
+            with span("server.batch", size=len(requests)):
+                results = self._resolve_batch(requests, t0, budget)
         finally:
             self._release(len(requests))
         return [
-            self._enforce_deadline(result, budget)
+            self._finish(self._enforce_deadline(result, budget))
             for result in results
         ]
 
@@ -782,6 +862,8 @@ class CompileServer:
         try:
             tasks = []
             job_deadline = self._job_deadline(deadline_at)
+            trace = tracing_enabled()
+            corr_id = correlation_id()
             for seq, (kind, key) in enumerate(owned):
                 request = keyed[(kind, key)]
                 if self.journal is not None:
@@ -795,6 +877,8 @@ class CompileServer:
                         {
                             "request": request.to_json(),
                             "deadline": job_deadline,
+                            "trace": trace,
+                            "corr_id": corr_id,
                         },
                     )
                 )
@@ -820,6 +904,7 @@ class CompileServer:
                         latency=elapsed,
                     )
                 else:
+                    payload = self._pop_spans(payload)
                     self.store.put(kind, key, payload)
                     self._count("computed")
                     result = ServiceResult(
@@ -926,15 +1011,21 @@ class CompileServer:
     def stats(self) -> dict:
         """Traffic, dedup, faults, pool health, cache sizes, store."""
         with self._mutex:
-            counters = dict(self._counters)
             fault_kinds = dict(self._fault_kinds)
+            recent = list(self._recent)
             inflight = len(self._inflight)
             draining = self._draining
             inflight_requests = self._inflight_requests
+        counters = {
+            name: self.metrics.counter(name).value
+            for name in self._COUNTER_NAMES
+        }
         return {
             "uptime_seconds": time.monotonic() - self.started_at,
             "counters": counters,
             "fault_kinds": fault_kinds,
+            "recent": recent,
+            "metrics": self.metrics.to_json(),
             "inflight": inflight,
             "lifecycle": {
                 "draining": draining,

@@ -41,6 +41,11 @@ class ClusterRun:
     cores: list[CoreRun]
     arrays: list[np.ndarray | None]
 
+    def merged_trace(self) -> ExecutionTrace:
+        """Cluster-level trace: cycles maxed, work counters and the
+        mnemonic histogram summed (:meth:`ExecutionTrace.merge`)."""
+        return ExecutionTrace.merge(core.trace for core in self.cores)
+
     @property
     def cycles(self) -> int:
         """Cluster latency: the slowest core."""
@@ -56,8 +61,8 @@ class ClusterRun:
         """Mean per-core FPU utilization over the cluster latency."""
         if not self.cycles:
             return 0.0
-        busy = sum(core.trace.fpu_arith_cycles for core in self.cores)
-        return busy / (self.cycles * len(self.cores))
+        merged = self.merged_trace()
+        return merged.fpu_arith_cycles / (merged.cycles * len(self.cores))
 
     def speedup_over(self, single_core_cycles: int) -> float:
         """Parallel speedup relative to a single-core run."""

@@ -35,11 +35,14 @@ from __future__ import annotations
 import threading
 import weakref
 from collections import OrderedDict
+from collections.abc import Mapping
 from time import monotonic
 
 import numpy as np
 
 from ..backend.registers import FLOAT_REGISTERS, INT_REGISTERS
+from ..obs.metrics import METRICS
+from ..obs.tracing import span
 from .assembler import AssemblerError, Program
 from .isa import (
     FP_ARITH_FLOPS,
@@ -105,10 +108,44 @@ _UNPACK_Q = U64.unpack
 
 _compute_packed = SnitchMachine._compute_packed
 
+class _DecodeStats(Mapping):
+    """Read-through view over the decode counters in the obs registry.
+
+    Keeps the historical ``DECODE_STATS["programs_decoded"]`` reading
+    idiom while the actual counts live in
+    :data:`repro.obs.metrics.METRICS` as atomic counters
+    (``engine_programs_decoded`` / ``engine_instructions_decoded``) —
+    the PR-10 fix for unlocked ``+=`` on a module dict under the
+    service's thread-per-connection loop.
+    """
+
+    def __init__(self):
+        self._counters = {
+            "programs_decoded": METRICS.counter(
+                "engine_programs_decoded"
+            ),
+            "instructions_decoded": METRICS.counter(
+                "engine_instructions_decoded"
+            ),
+        }
+
+    def __getitem__(self, key: str) -> int:
+        return self._counters[key].value
+
+    def __iter__(self):
+        return iter(self._counters)
+
+    def __len__(self) -> int:
+        return len(self._counters)
+
+    def increment(self, key: str, amount: int = 1) -> None:
+        self._counters[key].inc(amount)
+
+
 #: Decode telemetry: bumped once per (cache-missing) decode; the
 #: perf-smoke suite budgets these to prove decoding happens once per
 #: program, not once per core or per run.
-DECODE_STATS = {"programs_decoded": 0, "instructions_decoded": 0}
+DECODE_STATS = _DecodeStats()
 
 #: Version of the engine's timing semantics.  The schedule-space
 #: autotuner persists measured cycle counts keyed on this value — bump
@@ -1459,6 +1496,11 @@ def _decode_locked(program: Program) -> DecodedProgram:
     cached = getattr(program, "_decoded", None)
     if cached is not None and cached.matches(program):
         return cached
+    with span("engine.decode", instructions=len(program.instructions)):
+        return _decode_miss(program)
+
+
+def _decode_miss(program: Program) -> DecodedProgram:
     insts = program.instructions
     code: list = [None] * len(insts)
     fpu_fns: list = [None] * len(insts)
@@ -1498,8 +1540,8 @@ def _decode_locked(program: Program) -> DecodedProgram:
         code[pc] = _decode_frep(insts[pc], pc, insts, fpu_fns)
     decoded = DecodedProgram(program, code)
     program._decoded = decoded
-    DECODE_STATS["programs_decoded"] += 1
-    DECODE_STATS["instructions_decoded"] += len(insts)
+    DECODE_STATS.increment("programs_decoded")
+    DECODE_STATS.increment("instructions_decoded", len(insts))
     key = id(program)
     _DECODE_LRU[key] = weakref.ref(program)
     _DECODE_LRU.move_to_end(key)

@@ -223,6 +223,9 @@ class SnitchMachine:
         #: post-processing (Section 4.1).
         self.record_timeline = record_timeline
         self.timeline: list[tuple[int, str, str]] = []
+        #: Optional :class:`repro.obs.profiler.CycleProfiler`; consulted
+        #: only by :meth:`run_reference` (None = no profiling cost).
+        self.profiler = None
         self.int_regs: dict[str, int] = {"zero": 0}
         self.float_regs: dict[str, int] = {}
         self.int_ready: dict[str, int] = {}
@@ -302,6 +305,7 @@ class SnitchMachine:
         closures.  Bit-exact with :meth:`run_reference`, which the
         differential test suite asserts.
         """
+        from ..obs.tracing import span
         from .engine import execute
 
         for name, value in (int_args or {}).items():
@@ -309,7 +313,8 @@ class SnitchMachine:
         for name, value in (float_args or {}).items():
             self.write_float_bits(name, f64_to_bits(value))
         self._arm_deadline()
-        execute(self, entry)
+        with span("sim.run", entry=entry):
+            execute(self, entry)
         self.trace.cycles = max(self.int_time, self.fpu_time)
         return self.trace
 
@@ -325,35 +330,46 @@ class SnitchMachine:
         tests execute randomized and paper programs on both engines and
         assert identical cycles, counters, timelines, and memory.
         """
+        from ..obs.tracing import span
+
         for name, value in (int_args or {}).items():
             self.write_int(name, value)
         for name, value in (float_args or {}).items():
             self.write_float_bits(name, f64_to_bits(value))
         self._arm_deadline()
         deadline = self._deadline
+        profiler = self.profiler
         pc = self.program.entry(entry)
         instructions = self.program.instructions
-        while True:
-            if pc < 0 or pc >= len(instructions):
-                raise SimulationError(f"pc out of range: {pc}")
-            inst = instructions[pc]
-            self._executed += 1
-            if self._executed > self.max_instructions:
-                raise SimulationError(
-                    "instruction budget exceeded (infinite loop?)"
-                )
-            if (
-                deadline is not None
-                and (self._executed & 4095) == 0
-                and monotonic() > deadline
-            ):
-                raise DeadlineExceeded(
-                    f"wall-clock deadline of {self.deadline_seconds:g}s "
-                    f"exceeded after {self._executed} instructions"
-                )
-            if inst.mnemonic == "ret":
-                break
-            pc = self._step(inst, pc)
+        with span("sim.run_reference", entry=entry):
+            while True:
+                if pc < 0 or pc >= len(instructions):
+                    raise SimulationError(f"pc out of range: {pc}")
+                inst = instructions[pc]
+                self._executed += 1
+                if self._executed > self.max_instructions:
+                    raise SimulationError(
+                        "instruction budget exceeded (infinite loop?)"
+                    )
+                if (
+                    deadline is not None
+                    and (self._executed & 4095) == 0
+                    and monotonic() > deadline
+                ):
+                    raise DeadlineExceeded(
+                        f"wall-clock deadline of "
+                        f"{self.deadline_seconds:g}s exceeded after "
+                        f"{self._executed} instructions"
+                    )
+                if inst.mnemonic == "ret":
+                    break
+                if profiler is None:
+                    pc = self._step(inst, pc)
+                else:
+                    profiler.before_step(self)
+                    pc_next = self._step(inst, pc)
+                    profiler.after_step(self, inst, pc, pc_next)
+                    pc = pc_next
         self.trace.cycles = max(self.int_time, self.fpu_time)
         return self.trace
 

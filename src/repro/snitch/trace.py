@@ -8,7 +8,7 @@ instructions over the total execution latency").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 
 @dataclass
@@ -74,5 +74,64 @@ class ExecutionTrace:
             f"stores={self.stores}"
         )
 
+    # -- serialization / aggregation ----------------------------------------------
+
+    def to_json(self) -> dict:
+        """All counters as a JSON-compatible dict (round-trips)."""
+        return {
+            f.name: (
+                dict(getattr(self, f.name))
+                if f.name == "histogram"
+                else getattr(self, f.name)
+            )
+            for f in fields(self)
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "ExecutionTrace":
+        """Rebuild a trace from :meth:`to_json` output.
+
+        Unknown keys are ignored so traces serialized by a newer
+        revision still load.
+        """
+        known = {f.name for f in fields(cls)}
+        kwargs = {k: v for k, v in payload.items() if k in known}
+        kwargs["histogram"] = dict(kwargs.get("histogram") or {})
+        return cls(**kwargs)
+
+    @classmethod
+    def merge(cls, traces) -> "ExecutionTrace":
+        """Aggregate per-core traces into one cluster-level trace.
+
+        Cores run concurrently, so ``cycles`` (and the stall
+        diagnostic) take the max — the cluster is as slow as its
+        slowest core — while work counters and the mnemonic histogram
+        sum.  Cluster FPU utilization then falls out of the usual
+        property: summed arith cycles over one core-count multiple of
+        the critical path is *not* what the paper reports, so callers
+        wanting per-cluster occupancy still divide by core count
+        (see :meth:`repro.snitch.cluster.ClusterRun`).
+        """
+        merged = cls()
+        for trace in traces:
+            merged.cycles = max(merged.cycles, trace.cycles)
+            merged.fpu_stall_cycles = max(
+                merged.fpu_stall_cycles, trace.fpu_stall_cycles
+            )
+            for f in fields(cls):
+                if f.name in ("cycles", "fpu_stall_cycles", "histogram"):
+                    continue
+                setattr(
+                    merged,
+                    f.name,
+                    getattr(merged, f.name) + getattr(trace, f.name),
+                )
+            for mnemonic, count in trace.histogram.items():
+                merged.histogram[mnemonic] = (
+                    merged.histogram.get(mnemonic, 0) + count
+                )
+        return merged
+
 
 __all__ = ["ExecutionTrace"]
+

@@ -41,6 +41,7 @@ import json
 import sys
 
 from ..kernels.builders import KERNEL_BUILDERS
+from ..obs.tracing import correlation, new_correlation_id
 from ..service.client import ServiceClient, ServiceError, serve_forever
 from ..service.server import CompileServer, ServiceRequest
 from ..service.store import ArtifactStore, StoreError
@@ -194,6 +195,12 @@ def build_argument_parser() -> argparse.ArgumentParser:
         "--asm", action="store_true",
         help="print the compiled assembly instead of the summary",
     )
+    submit.add_argument(
+        "--corr-id", default=None, metavar="ID",
+        help="correlation id to tag the request with (default: mint "
+        "a fresh one); echoed on the result, in server logs "
+        "(REPRO_SERVICE_LOG=1) and in `stats` recent requests",
+    )
     add_backend(submit)
 
     batch = commands.add_parser(
@@ -231,8 +238,9 @@ class _InProcessBackend:
         self.store = ArtifactStore(store_dir)
         self.server = CompileServer(self.store)
 
-    def submit(self, request):
-        return self.server.submit(request).to_json()
+    def submit(self, request, corr_id=None):
+        with correlation(corr_id or new_correlation_id()):
+            return self.server.submit(request).to_json()
 
     def batch(self, requests):
         return [
@@ -309,9 +317,10 @@ def _summarize(result: dict) -> str:
         if "cycles" in payload
         else f"{len(payload['asm'].splitlines())} asm lines"
     )
+    corr = result.get("correlation_id") or "-"
     return (
         f"{name:<32} {result['source']:<8} {detail} "
-        f"({latency:.1f} ms)"
+        f"({latency:.1f} ms) corr={corr}"
     )
 
 
@@ -359,7 +368,7 @@ def main(argv=None) -> int:
     try:
         if args.command == "submit":
             request = _request_from_args(parser, args)
-            result = backend.submit(request)
+            result = backend.submit(request, corr_id=args.corr_id)
             if args.asm:
                 if result["fault"] is not None:
                     print(

@@ -42,6 +42,14 @@ import numpy as np
 
 from .. import api
 from ..compiler import Compiler
+from ..obs.tracing import (
+    absorb,
+    correlation,
+    correlation_id,
+    recording,
+    span,
+    tracing_enabled,
+)
 from ..snitch.cluster import run_row_partitioned
 from ..snitch.engine import ENGINE_VERSION
 from .cache import TuneCache
@@ -97,20 +105,30 @@ def _apply_injection(injection, serial: bool, deadline) -> None:
         raise KeyboardInterrupt
 
 
-def _measure_task(task) -> tuple[int | None, dict | None]:
+def _measure_task(task) -> tuple[int | dict | None, dict | None]:
     """(cycles, fault_json) for one config — the pool's work item.
 
     Never raises (except ``KeyboardInterrupt``): every failure is
     classified into the fault taxonomy so the pool can apply retry
     policy and the cache can persist provenance.
+
+    When the dispatching search runs under tracing, the payload
+    carries the correlation ID (its seventh element); the measurement
+    then records per-candidate spans into a local recorder — workers
+    are separate processes, so span context cannot ride the
+    ``contextvars`` — and smuggles them back through the pool's
+    2-tuple result protocol as ``({"cycles": ..., "spans": [...]},
+    fault_json)``, which :meth:`_SearchDriver._absorb` unwraps.
     """
     payload, injection, serial = task
-    kernel, sizes, config, seed, validate, deadline = payload
+    kernel, sizes, config, seed, validate, deadline = payload[:6]
+    trace_ctx = payload[6] if len(payload) > 6 else None
     stage: list[str] = ["inject"] if injection is not None else []
-    try:
+
+    def measure() -> int:
         if injection is not None:
             _apply_injection(injection, serial, deadline)
-        cycles = evaluate_config(
+        return evaluate_config(
             kernel,
             sizes,
             config,
@@ -119,7 +137,14 @@ def _measure_task(task) -> tuple[int | None, dict | None]:
             deadline_seconds=deadline,
             stage_out=stage,
         )
-        return cycles, None
+
+    try:
+        if trace_ctx is None:
+            return measure(), None
+        with recording() as recorder, correlation(trace_ctx):
+            with span("tune.candidate", candidate=config.key()):
+                cycles = measure()
+        return {"cycles": cycles, "spans": recorder.events_json()}, None
     except KeyboardInterrupt:
         raise
     except Exception as error:  # classify, don't rank
@@ -404,6 +429,11 @@ class _SearchDriver:
                 pending.append((key, config))
 
         tasks = []
+        # When the caller is tracing, ship the correlation ID with each
+        # task so worker-side candidate spans join this trace.
+        trace_ctx = (
+            (correlation_id() or "") if tracing_enabled() else None
+        )
         for _, config in pending:
             payload = (
                 self.space.kernel,
@@ -412,6 +442,7 @@ class _SearchDriver:
                 self.seed,
                 self.validate,
                 self.deadline,
+                trace_ctx,
             )
             tasks.append((self._seq, config.key(), payload))
             self._seq += 1
@@ -438,6 +469,11 @@ class _SearchDriver:
     ) -> None:
         """Record one fresh measurement and apply the cache policy."""
         cycles, fault_json = result
+        if isinstance(cycles, dict):
+            # Traced measurement: unwrap the smuggled worker spans into
+            # this context's recorder (see ``_measure_task``).
+            absorb(cycles.get("spans"))
+            cycles = cycles.get("cycles")
         fault = (
             Fault.from_json(fault_json) if fault_json is not None else None
         )
@@ -653,12 +689,13 @@ def tune_kernel(
     try:
         interrupted = False
         try:
-            if strategy == "exhaustive":
-                driver.run_exhaustive()
-            elif strategy == "random":
-                driver.run_random()
-            else:
-                driver.run_greedy()
+            with span("tune.search", kernel=kernel, strategy=strategy):
+                if strategy == "exhaustive":
+                    driver.run_exhaustive()
+                elif strategy == "random":
+                    driver.run_random()
+                else:
+                    driver.run_greedy()
         except KeyboardInterrupt:
             interrupted = True
         if interrupted:

@@ -1,0 +1,178 @@
+"""End-to-end observability across the service boundary.
+
+One ``kernel_service`` request must produce a Perfetto-loadable trace
+spanning client -> server -> pool worker -> simulator, all joined by a
+single correlation ID (PR-10 acceptance criterion) — plus the id
+echoed on the result, in server ``stats`` recent-request records, and
+in the opt-in request log.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.tracing import (
+    correlation,
+    new_correlation_id,
+    recording,
+)
+from repro.service.client import ServiceClient, serve_forever
+from repro.service.server import CompileServer, ServiceRequest
+from repro.service.store import ArtifactStore
+from repro.tools import kernel_service
+
+
+@pytest.fixture()
+def live_server(tmp_path):
+    sock = tmp_path / "svc.sock"
+    ready = threading.Event()
+    thread = threading.Thread(
+        target=serve_forever,
+        args=(tmp_path / "store", sock),
+        kwargs={"workers": 1, "ready": lambda _addr: ready.set()},
+        daemon=True,
+    )
+    thread.start()
+    assert ready.wait(10)
+    client = ServiceClient(sock)
+    yield client
+    client.shutdown()
+    thread.join(10)
+
+
+class TestServiceCorrelation:
+    def test_result_echoes_a_correlation_id(self, live_server):
+        result = live_server.submit(
+            ServiceRequest("compile", "relu", (4, 8))
+        )
+        assert result["correlation_id"]
+
+    def test_explicit_correlation_scope_wins(self, live_server):
+        cid = new_correlation_id()
+        with correlation(cid):
+            result = live_server.submit(
+                ServiceRequest("compile", "sum", (4, 8))
+            )
+        assert result["correlation_id"] == cid
+
+    def test_stats_recent_carries_the_id(self, live_server):
+        cid = new_correlation_id()
+        with correlation(cid):
+            live_server.submit(
+                ServiceRequest("compile", "fill", (4, 8))
+            )
+        recent = live_server.stats()["recent"]
+        assert any(
+            record["correlation_id"] == cid for record in recent
+        )
+
+    def test_single_trace_client_to_simulator(self, live_server):
+        """The acceptance criterion: one measure request, one corr
+        id, spans from the client down to the simulator."""
+        with recording() as recorder:
+            result = live_server.submit(
+                ServiceRequest("measure", "matmul", (2, 4, 4))
+            )
+        events = recorder.events_json()
+        names = {event["name"] for event in events}
+        assert {
+            "client.submit",
+            "server.submit",
+            "worker.job",
+            "sim.run",
+        } <= names
+        cids = {
+            event["args"].get("correlation_id") for event in events
+        }
+        assert cids == {result["correlation_id"]}
+        # Perfetto-loadable: a JSON object with complete events.
+        doc = recorder.chrome_trace()
+        parsed = json.loads(json.dumps(doc))
+        assert parsed["traceEvents"]
+        assert all(
+            event["ph"] in ("M", "X")
+            for event in parsed["traceEvents"]
+        )
+
+    def test_batch_shares_one_correlation_id(self, live_server):
+        results = live_server.batch(
+            [
+                ServiceRequest("compile", "relu", (4, 8)),
+                ServiceRequest("compile", "sum", (4, 8)),
+            ]
+        )
+        cids = {result["correlation_id"] for result in results}
+        assert len(cids) == 1 and cids != {""}
+
+    def test_untraced_submit_ships_no_spans(self, live_server):
+        result = live_server.submit(
+            ServiceRequest("measure", "relu", (4, 8))
+        )
+        assert "__spans__" not in (result["payload"] or {})
+
+    def test_request_log_greps_by_corr_id(
+        self, live_server, monkeypatch, capsys
+    ):
+        monkeypatch.setenv("REPRO_SERVICE_LOG", "1")
+        cid = new_correlation_id()
+        with correlation(cid):
+            live_server.submit(
+                ServiceRequest("compile", "matvec", (4, 8))
+            )
+        captured = capsys.readouterr()
+        assert f"corr_id={cid}" in captured.err
+
+
+class TestStoreHygiene:
+    def test_spans_never_persist_in_the_store(self, tmp_path):
+        """Traced artifacts must hit the content-addressed store
+        clean — a later untraced hit must not resurrect spans."""
+        store = ArtifactStore(tmp_path / "store")
+        with CompileServer(store, workers=1) as server:
+            with recording():
+                first = server.submit(
+                    ServiceRequest("measure", "sum", (4, 8))
+                )
+            second = server.submit(
+                ServiceRequest("measure", "sum", (4, 8))
+            )
+        assert first.source == "computed"
+        assert second.source == "store"
+        assert "__spans__" not in first.payload
+        assert "__spans__" not in second.payload
+
+    def test_request_key_ignores_correlation(self, tmp_path):
+        """Correlation ids must not break content addressing."""
+        store = ArtifactStore(tmp_path / "store")
+        with CompileServer(store, workers=1) as server:
+            with correlation(new_correlation_id()):
+                first = server.submit(
+                    ServiceRequest("compile", "relu", (4, 8))
+                )
+            with correlation(new_correlation_id()):
+                second = server.submit(
+                    ServiceRequest("compile", "relu", (4, 8))
+                )
+        assert first.key == second.key
+        assert second.source == "store"
+
+
+class TestInProcessBackend:
+    def test_cli_corr_id_round_trip(self, tmp_path, capsys):
+        code = kernel_service.main(
+            [
+                "submit",
+                "measure",
+                "relu",
+                "4",
+                "8",
+                "--store",
+                str(tmp_path / "store"),
+                "--corr-id",
+                "cafe0123cafe0123",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "corr=cafe0123cafe0123" in out
